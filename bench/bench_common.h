@@ -1,0 +1,54 @@
+#ifndef TERIDS_BENCH_BENCH_COMMON_H_
+#define TERIDS_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "eval/experiment.h"
+
+namespace terids {
+namespace bench {
+
+/// Global size multiplier from the TERIDS_BENCH_SCALE environment variable
+/// (default 1.0). Values < 1 shrink every dataset/window for quick runs;
+/// values > 1 approach the paper's sizes at the cost of wall time.
+double EnvScale();
+
+/// Baseline parameters for one dataset: Table 5 defaults with sizes scaled
+/// so the full suite finishes on one core (see EXPERIMENTS.md §Scaling).
+/// Paper -> bench mapping: w 1000 -> 200, arrivals capped at 800, dataset
+/// scale per profile (Songs is scaled hardest: 1M tuples -> ~16k).
+ExperimentParams BaseParams(const std::string& dataset);
+
+/// The paper's five evaluation datasets, in Table 4 order.
+const std::vector<std::string>& AllDatasets();
+
+/// All six pipelines of Section 6.1, TER-iDS first.
+const std::vector<PipelineKind>& AllPipelines();
+/// The four pipelines whose accuracy the paper plots (Figure 5(a)).
+const std::vector<PipelineKind>& AccuracyPipelines();
+
+/// Prints the figure banner and the effective parameter values.
+void PrintHeader(const std::string& figure, const std::string& title,
+                 const ExperimentParams& params);
+
+using ParamSetter = std::function<void(ExperimentParams*, double)>;
+
+/// Sweeps `values` of one parameter over all datasets and pipelines,
+/// printing one wall-clock (ms/arrival) table per dataset. Regenerates the
+/// paper's efficiency figures (7-10, 16, 17).
+void TimeSweep(const std::string& figure, const std::string& param_name,
+               const std::vector<double>& values, const ParamSetter& setter,
+               const std::vector<PipelineKind>& kinds);
+
+/// Same sweep reporting F-scores (accuracy figures 13-15).
+void FscoreSweep(const std::string& figure, const std::string& param_name,
+                 const std::vector<double>& values, const ParamSetter& setter,
+                 const std::vector<PipelineKind>& kinds);
+
+}  // namespace bench
+}  // namespace terids
+
+#endif  // TERIDS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,33 @@
+// Figure 4: pruning power of the four strategies over the five datasets.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/profiles.h"
+
+int main() {
+  using namespace terids;
+  using namespace terids::bench;
+  ExperimentParams base = BaseParams("Citations");
+  PrintHeader("Figure 4", "pruning power evaluation over real data sets",
+              base);
+  std::printf("%-10s %8s %8s %8s %8s %8s %12s\n", "dataset", "topic%",
+              "simUB%", "probUB%", "inst%", "total%", "pairs");
+  for (const std::string& name : AllDatasets()) {
+    Experiment experiment(ProfileByName(name), BaseParams(name));
+    PipelineRun run = experiment.Run(PipelineKind::kTerIds);
+    const PruneStats& s = run.stats;
+    std::printf("%-10s %8.2f %8.2f %8.2f %8.2f %8.2f %12llu\n", name.c_str(),
+                100.0 * s.PowerOf(s.topic_pruned),
+                100.0 * s.PowerOf(s.sim_ub_pruned),
+                100.0 * s.PowerOf(s.prob_ub_pruned),
+                100.0 * s.PowerOf(s.instance_pruned),
+                100.0 * s.TotalPower(),
+                static_cast<unsigned long long>(s.total_pairs));
+  }
+  std::printf(
+      "\npaper shape: topic keyword pruning dominates (77.51-86.51%%),\n"
+      "then similarity UB (5.59-14.23%%), probability UB (2.15-3.64%%),\n"
+      "instance-pair-level (1.54-4.35%%); total 98.32-99.43%%.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 7: TER-iDS efficiency vs probabilistic threshold alpha.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace terids;
+  using namespace terids::bench;
+  TimeSweep("Figure 7", "alpha", {0.1, 0.2, 0.5, 0.8, 0.9},
+            [](ExperimentParams* p, double v) { p->alpha = v; },
+            AllPipelines());
+  return 0;
+}

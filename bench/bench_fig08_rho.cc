@@ -1,0 +1,12 @@
+// Figure 8: TER-iDS efficiency vs the ratio rho = gamma / d.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace terids;
+  using namespace terids::bench;
+  TimeSweep("Figure 8", "rho", {0.3, 0.4, 0.5, 0.6, 0.7},
+            [](ExperimentParams* p, double v) { p->rho = v; },
+            AllPipelines());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 9: TER-iDS efficiency vs the missing rate xi.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace terids;
+  using namespace terids::bench;
+  TimeSweep("Figure 9", "xi", {0.1, 0.2, 0.3, 0.4, 0.5, 0.8},
+            [](ExperimentParams* p, double v) { p->xi = v; },
+            AllPipelines());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 13: TER-iDS effectiveness (F-score) vs the missing rate xi.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace terids;
+  using namespace terids::bench;
+  FscoreSweep("Figure 13", "xi", {0.1, 0.2, 0.3, 0.4, 0.5, 0.8},
+              [](ExperimentParams* p, double v) { p->xi = v; },
+              AccuracyPipelines());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 14: TER-iDS effectiveness (F-score) vs the repository ratio eta.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace terids;
+  using namespace terids::bench;
+  FscoreSweep("Figure 14", "eta", {0.1, 0.2, 0.3, 0.4, 0.5},
+              [](ExperimentParams* p, double v) { p->eta = v; },
+              AccuracyPipelines());
+  return 0;
+}

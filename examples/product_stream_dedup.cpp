@@ -1,0 +1,93 @@
+// E-commerce product deduplication (the introduction's second scenario):
+// crawled product descriptions from two marketplaces arrive as incomplete
+// streams; a customer tracks one product type (topic) and wants groups of
+// the latest products with similar features.
+//
+// Demonstrates three API aspects beyond the quickstart:
+//   * topical vs unconstrained queries on the same streams,
+//   * the dynamic-repository extension (Section 5.5): absorbing a batch of
+//     new complete tuples into R while the engine is live,
+//   * per-arrival cost accounting.
+
+#include <cstdio>
+
+#include "core/terids_engine.h"
+#include "datagen/generator.h"
+#include "datagen/profiles.h"
+#include "eval/experiment.h"
+#include "stream/stream_driver.h"
+
+using namespace terids;
+
+namespace {
+
+size_t RunQuery(const Experiment& experiment, const EngineConfig& config,
+                const char* label) {
+  std::unique_ptr<Repository> repo = experiment.BuildRepository();
+  TerIdsEngine engine(repo.get(), config, 2, experiment.cdds());
+
+  const ExperimentParams& params = experiment.params();
+  std::vector<Record> stream_a = DataGenerator::WithMissing(
+      experiment.dataset().source_a, params.xi, params.m, params.seed);
+  std::vector<Record> stream_b = DataGenerator::WithMissing(
+      experiment.dataset().source_b, params.xi, params.m, params.seed + 1);
+  StreamDriver driver({stream_a, stream_b});
+
+  size_t matches = 0;
+  CostBreakdown cost;
+  size_t arrivals = 0;
+  while (driver.HasNext() && arrivals < 500) {
+    ArrivalOutcome outcome = engine.ProcessArrival(driver.Next());
+    matches += outcome.new_matches.size();
+    cost.Add(outcome.cost);
+    ++arrivals;
+
+    // Midway through, the marketplace publishes a fresh batch of verified
+    // complete listings: absorb them into the repository (Section 5.5).
+    if (arrivals == 250) {
+      std::vector<Record> batch(
+          experiment.dataset().repo_records.begin(),
+          experiment.dataset().repo_records.begin() + 10);
+      TERIDS_CHECK(engine.AbsorbRepositoryBatch(batch).ok());
+    }
+  }
+  std::printf(
+      "%-14s matches=%-5zu live ES=%-5zu  per-arrival: select %.4f ms, "
+      "impute %.4f ms, ER %.4f ms\n",
+      label, matches, engine.results().size(),
+      1e3 * cost.cdd_select_seconds / arrivals,
+      1e3 * cost.impute_seconds / arrivals, 1e3 * cost.er_seconds / arrivals);
+  return matches;
+}
+
+}  // namespace
+
+int main() {
+  ExperimentParams params;
+  params.scale = 0.08;
+  params.w = 120;
+  params.xi = 0.3;
+  params.max_arrivals = 500;
+  Experiment experiment(BikesProfile(), params);
+  std::printf("Bikes marketplace streams: |A|=%zu |B|=%zu, repository=%zu, "
+              "%zu CDD rules\n\n",
+              experiment.dataset().source_a.size(),
+              experiment.dataset().source_b.size(),
+              experiment.dataset().repo_records.size(),
+              experiment.cdds().size());
+
+  // Customer tracks one product type.
+  EngineConfig topical = experiment.MakeConfig();
+  const size_t topical_matches = RunQuery(experiment, topical, "one topic:");
+
+  // Marketplace-wide deduplication: K = all keywords (unconstrained).
+  EngineConfig broad = experiment.MakeConfig();
+  broad.keywords.clear();
+  const size_t broad_matches = RunQuery(experiment, broad, "all topics:");
+
+  std::printf(
+      "\ntopic-aware filtering reported %zu of %zu unconstrained matches\n"
+      "(ad-hoc topics: no re-indexing was needed to change K).\n",
+      topical_matches, broad_matches);
+  return 0;
+}

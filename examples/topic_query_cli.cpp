@@ -1,0 +1,62 @@
+// Ad-hoc topic query CLI: run a TER-iDS query with user-chosen parameters
+// over a generated dataset and print the matched pairs.
+//
+// Usage:
+//   example_topic_query_cli [dataset] [topics] [rho] [alpha] [w] [xi]
+//     dataset: Citations | Anime | Bikes | EBooks | Songs  (default Citations)
+//     topics:  number of topic keywords in K, 0 = unconstrained (default 1)
+//     rho:     gamma / d in (0,1)                          (default 0.5)
+//     alpha:   probability threshold in [0,1)              (default 0.5)
+//     w:       sliding window size                         (default 150)
+//     xi:      missing rate in [0,1]                       (default 0.3)
+//
+// Demonstrates that query keywords are online parameters: nothing is
+// re-mined or re-indexed when K changes (the paper's "ad-hoc topics").
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.h"
+#include "datagen/profiles.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace terids;
+
+  const std::string dataset = argc > 1 ? argv[1] : "Citations";
+  const int topics = argc > 2 ? std::atoi(argv[2]) : 1;
+  const double rho = argc > 3 ? std::atof(argv[3]) : 0.5;
+  const double alpha = argc > 4 ? std::atof(argv[4]) : 0.5;
+  const int w = argc > 5 ? std::atoi(argv[5]) : 150;
+  const double xi = argc > 6 ? std::atof(argv[6]) : 0.3;
+
+  ExperimentParams params;
+  params.scale = 0.1;
+  params.rho = rho;
+  params.alpha = alpha;
+  params.w = w;
+  params.xi = xi;
+  params.topics_in_query = topics;
+  params.max_arrivals = 4 * w;
+
+  Experiment experiment(ProfileByName(dataset), params);
+  std::printf("query: dataset=%s |K|=%d gamma=%.2f alpha=%.2f w=%d xi=%.2f\n",
+              dataset.c_str(), topics, experiment.gamma(), alpha, w, xi);
+
+  PipelineRun run = experiment.Run(PipelineKind::kTerIds);
+  std::printf(
+      "%zu arrivals in %.3fs (%.4f ms/arrival), %llu candidate pairs, "
+      "%.2f%% pruned\n",
+      run.arrivals, run.total_seconds, 1e3 * run.avg_arrival_seconds,
+      static_cast<unsigned long long>(run.stats.total_pairs),
+      100.0 * run.stats.TotalPower());
+  std::printf("reported %zu pairs; precision=%.3f recall=%.3f F=%.3f "
+              "(vs %zu predicate-truth pairs)\n",
+              run.accuracy.returned, run.accuracy.precision,
+              run.accuracy.recall, run.accuracy.f_score,
+              run.accuracy.truth_size);
+  std::printf("%zu pairs still live in ES at stream end\n",
+              run.final_result_size);
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "core/config.h"
+
+namespace terids {
+
+const char* PipelineKindName(PipelineKind kind) {
+  switch (kind) {
+    case PipelineKind::kTerIds:
+      return "TER-iDS";
+    case PipelineKind::kIjGer:
+      return "Ij+GER";
+    case PipelineKind::kCddEr:
+      return "CDD+ER";
+    case PipelineKind::kDdEr:
+      return "DD+ER";
+    case PipelineKind::kEditingEr:
+      return "er+ER";
+    case PipelineKind::kConstraintEr:
+      return "con+ER";
+  }
+  return "unknown";
+}
+
+}  // namespace terids

@@ -1,0 +1,44 @@
+#ifndef TERIDS_CORE_CONFIG_H_
+#define TERIDS_CORE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+namespace terids {
+
+/// Identifies one of the evaluated processing pipelines (Section 6.1).
+enum class PipelineKind {
+  kTerIds,        // Full approach: CDD-index + DR-index + ER-grid join.
+  kIjGer,         // Indexes without join: CDD-index + linear samples + grid.
+  kCddEr,         // CDD imputation without indexes + linear ER.
+  kDdEr,          // DD imputation + linear ER.
+  kEditingEr,     // Editing-rule imputation + linear ER ("er+ER").
+  kConstraintEr,  // Constraint-based stream imputation + linear ER.
+};
+
+const char* PipelineKindName(PipelineKind kind);
+
+/// Runtime configuration of a TER-iDS query (the problem statement's
+/// parameters plus implementation knobs).
+struct EngineConfig {
+  /// Query topic keywords K; empty = unconstrained (all topics).
+  std::vector<std::string> keywords;
+  /// Similarity threshold gamma in (0, d). The evaluation uses the ratio
+  /// rho = gamma / d; callers set gamma = rho * d.
+  double gamma = 2.0;
+  /// Probabilistic threshold alpha in [0, 1).
+  double alpha = 0.5;
+  /// Sliding-window size w per stream (count-based).
+  int window_size = 1000;
+  /// Cap on materialized instances per imputed tuple (Definition 4 allows
+  /// the retained mass to be < 1).
+  int max_instances = 16;
+  /// Cap on imputation candidates per missing attribute.
+  int max_candidates_per_attr = 8;
+  /// ER-grid cell side length in the converted space [0,1].
+  double cell_width = 0.2;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_CORE_CONFIG_H_

@@ -1,0 +1,152 @@
+#include "core/pipeline.h"
+
+#include "er/probability.h"
+#include "util/stopwatch.h"
+
+namespace terids {
+
+PipelineBase::PipelineBase(Repository* repo, EngineConfig config,
+                           int num_streams, bool use_grid, bool use_prunings,
+                           std::string name)
+    : repo_(repo),
+      config_(std::move(config)),
+      topic_(repo->dict(), config_.keywords),
+      use_prunings_(use_prunings),
+      name_(std::move(name)) {
+  TERIDS_CHECK(repo != nullptr);
+  TERIDS_CHECK(repo->has_pivots());
+  TERIDS_CHECK(num_streams >= 2);
+  windows_.reserve(num_streams);
+  for (int i = 0; i < num_streams; ++i) {
+    windows_.emplace_back(config_.window_size);
+  }
+  if (use_grid) {
+    grid_ = std::make_unique<ErGrid>(repo->num_attributes(),
+                                     config_.cell_width);
+  }
+}
+
+const SlidingWindow& PipelineBase::window(int stream_id) const {
+  TERIDS_CHECK(stream_id >= 0 &&
+               stream_id < static_cast<int>(windows_.size()));
+  return windows_[stream_id];
+}
+
+std::vector<ImputedTuple::ImputedAttr> PipelineBase::Impute(
+    const Record& r, const ProbeCoords& pc, CostBreakdown* cost) {
+  (void)pc;
+  TERIDS_CHECK(imputer_ != nullptr);
+  return imputer_->ImputeRecord(r, cost);
+}
+
+std::vector<const WindowTuple*> PipelineBase::LinearCandidates(
+    const WindowTuple& probe, PruneStats* stats) const {
+  (void)stats;
+  std::vector<const WindowTuple*> out;
+  for (size_t s = 0; s < windows_.size(); ++s) {
+    if (static_cast<int>(s) == probe.stream_id()) {
+      continue;
+    }
+    for (const auto& wt : windows_[s].tuples()) {
+      out.push_back(wt.get());
+    }
+  }
+  return out;
+}
+
+ArrivalOutcome PipelineBase::ProcessArrival(const Record& r) {
+  TERIDS_CHECK(r.stream_id >= 0 &&
+               r.stream_id < static_cast<int>(windows_.size()));
+  ArrivalOutcome out;
+
+  if (imputer_ != nullptr) {
+    imputer_->OnArrival(r);
+  }
+
+  // --- Imputation phase (Algorithm 2 lines 8-10) -----------------------
+  const ProbeCoords pc = ProbeCoords::Compute(r, *repo_);
+  std::shared_ptr<const ImputedTuple> tuple;
+  if (r.IsComplete()) {
+    tuple = std::make_shared<const ImputedTuple>(
+        ImputedTuple::FromComplete(r, repo_));
+  } else {
+    std::vector<ImputedTuple::ImputedAttr> imputed =
+        Impute(r, pc, &out.cost);
+    tuple = std::make_shared<const ImputedTuple>(ImputedTuple::FromImputation(
+        r, repo_, std::move(imputed), config_.max_instances));
+  }
+  auto wt = std::make_shared<WindowTuple>();
+  wt->tuple = tuple;
+  wt->topic = topic_.Classify(*tuple);
+
+  // --- ER phase (Algorithm 2 lines 14-26) ------------------------------
+  {
+    ScopedTimer timer(&out.cost.er_seconds);
+    const bool topic_constrained = !topic_.IsUnconstrained();
+    std::vector<const WindowTuple*> candidates;
+    if (grid_ != nullptr) {
+      ErGrid::CandidateResult grid_result =
+          grid_->Candidates(*wt, config_.gamma, topic_constrained);
+      candidates = std::move(grid_result.candidates);
+      // Grid-level prunes are Theorem 4.1 / Theorem 4.2 kills; account for
+      // them in this arrival's pair statistics.
+      out.stats.total_pairs +=
+          grid_result.topic_pruned + grid_result.sim_pruned;
+      out.stats.topic_pruned += grid_result.topic_pruned;
+      out.stats.sim_ub_pruned += grid_result.sim_pruned;
+    } else {
+      candidates = LinearCandidates(*wt, &out.stats);
+    }
+
+    for (const WindowTuple* cand : candidates) {
+      if (use_prunings_) {
+        double prob = 0.0;
+        const PairOutcome outcome =
+            EvaluatePair(*tuple, wt->topic, *cand->tuple, cand->topic,
+                         config_.gamma, config_.alpha, &out.stats, &prob);
+        if (outcome == PairOutcome::kMatched) {
+          matches_.Add(tuple->rid(), cand->rid(), prob);
+          MatchPair pair;
+          pair.rid_a = std::min(tuple->rid(), cand->rid());
+          pair.rid_b = std::max(tuple->rid(), cand->rid());
+          pair.probability = prob;
+          out.new_matches.push_back(pair);
+        }
+      } else {
+        ++out.stats.total_pairs;
+        ++out.stats.refined;
+        const double prob = ExactProbability(*tuple, wt->topic, *cand->tuple,
+                                             cand->topic, config_.gamma);
+        if (prob > config_.alpha) {
+          ++out.stats.matched;
+          matches_.Add(tuple->rid(), cand->rid(), prob);
+          MatchPair pair;
+          pair.rid_a = std::min(tuple->rid(), cand->rid());
+          pair.rid_b = std::max(tuple->rid(), cand->rid());
+          pair.probability = prob;
+          out.new_matches.push_back(pair);
+        }
+      }
+    }
+  }
+  cum_stats_.Add(out.stats);
+
+  // --- Window maintenance (Algorithm 2 lines 2-7, 11-13) ---------------
+  if (grid_ != nullptr) {
+    grid_->Insert(wt.get());
+  }
+  std::shared_ptr<WindowTuple> evicted =
+      windows_[r.stream_id].Push(std::move(wt));
+  if (evicted != nullptr) {
+    if (grid_ != nullptr) {
+      grid_->Remove(evicted.get());
+    }
+    matches_.RemoveAllWith(evicted->rid());
+    if (imputer_ != nullptr) {
+      imputer_->OnEvict(evicted->tuple->base());
+    }
+  }
+  return out;
+}
+
+}  // namespace terids

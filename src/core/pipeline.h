@@ -1,0 +1,102 @@
+#ifndef TERIDS_CORE_PIPELINE_H_
+#define TERIDS_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "er/match_set.h"
+#include "er/pruning.h"
+#include "er/topic.h"
+#include "eval/cost_breakdown.h"
+#include "imputation/imputer.h"
+#include "index/dr_index.h"
+#include "repo/repository.h"
+#include "rules/rule.h"
+#include "stream/sliding_window.h"
+#include "synopsis/er_grid.h"
+#include "tuple/record.h"
+
+namespace terids {
+
+/// What one arrival produced.
+struct ArrivalOutcome {
+  /// Pairs newly added to the result set ES by this arrival.
+  std::vector<MatchPair> new_matches;
+  /// Break-up cost of this arrival (Figure 6).
+  CostBreakdown cost;
+  /// Pair pruning statistics of this arrival (Figure 4).
+  PruneStats stats;
+};
+
+/// Common interface of the TER-iDS engine and all baselines: an online
+/// operator that consumes one stream arrival at a time and continuously
+/// maintains the TER-iDS result set ES (Algorithm 1).
+class ErPipeline {
+ public:
+  virtual ~ErPipeline() = default;
+  virtual const std::string& name() const = 0;
+  virtual ArrivalOutcome ProcessArrival(const Record& r) = 0;
+  virtual const MatchSet& results() const = 0;
+  virtual const PruneStats& cumulative_stats() const = 0;
+};
+
+/// Shared implementation: sliding windows, optional ER-grid, result-set
+/// maintenance with eviction cascade, and the refinement loop. Subclasses
+/// override the imputation hook (and inherit either the grid-based or
+/// linear candidate generation depending on configuration).
+class PipelineBase : public ErPipeline {
+ public:
+  /// `num_streams` windows are created. If `use_grid`, candidates come from
+  /// the ER-grid with cell-level pruning; otherwise from a linear window
+  /// scan. If `use_prunings`, pairs go through Theorems 4.1-4.4 before
+  /// refinement; otherwise the exact probability is always computed (the
+  /// unpruned baselines).
+  PipelineBase(Repository* repo, EngineConfig config, int num_streams,
+               bool use_grid, bool use_prunings, std::string name);
+
+  const std::string& name() const override { return name_; }
+  ArrivalOutcome ProcessArrival(const Record& r) override;
+  const MatchSet& results() const override { return matches_; }
+  const PruneStats& cumulative_stats() const override { return cum_stats_; }
+
+  /// Live tuples of one stream's window (inspection / tests).
+  const SlidingWindow& window(int stream_id) const;
+
+ protected:
+  /// Imputation hook: candidate distributions for the missing attributes of
+  /// `r`. Default delegates to `imputer_` (must be set by the subclass).
+  virtual std::vector<ImputedTuple::ImputedAttr> Impute(const Record& r,
+                                                        const ProbeCoords& pc,
+                                                        CostBreakdown* cost);
+
+  Repository* repo_;
+  EngineConfig config_;
+  TopicQuery topic_;
+  std::vector<SlidingWindow> windows_;
+  std::unique_ptr<ErGrid> grid_;
+  std::unique_ptr<Imputer> imputer_;
+  MatchSet matches_;
+  PruneStats cum_stats_;
+  bool use_prunings_;
+  std::string name_;
+
+ private:
+  std::vector<const WindowTuple*> LinearCandidates(const WindowTuple& probe,
+                                                   PruneStats* stats) const;
+};
+
+/// Constructs one of the six evaluated pipelines. The rule vectors are
+/// copied into the pipeline (each pipeline owns its rules). `repo` must
+/// outlive the pipeline and have pivots attached.
+std::unique_ptr<ErPipeline> MakePipeline(PipelineKind kind, Repository* repo,
+                                         const EngineConfig& config,
+                                         int num_streams,
+                                         const std::vector<CddRule>& cdds,
+                                         const std::vector<CddRule>& dds,
+                                         const std::vector<CddRule>& editing);
+
+}  // namespace terids
+
+#endif  // TERIDS_CORE_PIPELINE_H_

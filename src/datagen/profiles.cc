@@ -1,0 +1,99 @@
+#include "datagen/profiles.h"
+
+#include "util/status.h"
+
+namespace terids {
+
+DatasetProfile CitationsProfile() {
+  DatasetProfile p;
+  p.name = "Citations";
+  p.attributes = {"title", "authors", "venue", "year"};
+  p.min_tokens = {6, 4, 2, 1};
+  p.max_tokens = {12, 8, 5, 1};
+  p.vocab_size = {4000, 3000, 400, 40};
+  p.topic_core_fraction = {0.25, 0.30, 0.70, 0.0};
+  p.size_a = 2614;
+  p.size_b = 2294;
+  p.match_fraction = 0.85;  // 2224 correct matches over 2294 B records.
+  p.perturbation = 0.10;
+  return p;
+}
+
+DatasetProfile AnimeProfile() {
+  DatasetProfile p;
+  p.name = "Anime";
+  p.attributes = {"title", "genres", "studio", "year", "episodes"};
+  p.min_tokens = {3, 3, 1, 1, 1};
+  p.max_tokens = {8, 6, 3, 1, 1};
+  p.vocab_size = {3000, 60, 300, 40, 100};
+  p.topic_core_fraction = {0.25, 0.80, 0.60, 0.0, 0.0};
+  p.size_a = 4000;
+  p.size_b = 4000;
+  // 10704 matches over 4000x4000: entities duplicated several times.
+  p.match_fraction = 0.9;
+  p.perturbation = 0.12;
+  return p;
+}
+
+DatasetProfile BikesProfile() {
+  DatasetProfile p;
+  p.name = "Bikes";
+  p.attributes = {"model", "brand", "color", "engine", "price"};
+  p.min_tokens = {3, 1, 1, 2, 1};
+  p.max_tokens = {7, 2, 2, 4, 1};
+  p.vocab_size = {2000, 80, 30, 400, 500};
+  p.topic_core_fraction = {0.30, 0.70, 0.50, 0.60, 0.0};
+  p.size_a = 4786;
+  p.size_b = 9003;
+  p.match_fraction = 0.8;
+  p.perturbation = 0.12;
+  return p;
+}
+
+DatasetProfile EBooksProfile() {
+  DatasetProfile p;
+  p.name = "EBooks";
+  p.attributes = {"title", "author", "publisher", "genre", "description",
+                  "price"};
+  p.min_tokens = {4, 2, 1, 1, 30, 1};
+  p.max_tokens = {9, 5, 3, 2, 60, 1};  // Long descriptions: slowest dataset.
+  p.vocab_size = {4000, 3000, 500, 40, 8000, 300};
+  p.topic_core_fraction = {0.25, 0.30, 0.60, 0.90, 0.50, 0.0};
+  p.size_a = 6500;
+  p.size_b = 14112;
+  p.match_fraction = 0.75;
+  p.perturbation = 0.12;
+  return p;
+}
+
+DatasetProfile SongsProfile() {
+  DatasetProfile p;
+  p.name = "Songs";
+  p.attributes = {"title", "artist", "album", "year", "genre"};
+  p.min_tokens = {3, 2, 2, 1, 1};
+  p.max_tokens = {7, 4, 5, 1, 2};
+  p.vocab_size = {8000, 4000, 5000, 60, 30};
+  p.topic_core_fraction = {0.20, 0.40, 0.40, 0.0, 0.90};
+  p.size_a = 1000000;
+  p.size_b = 1000000;
+  p.match_fraction = 0.85;
+  p.perturbation = 0.10;
+  return p;
+}
+
+std::vector<DatasetProfile> AllProfiles() {
+  return {CitationsProfile(), AnimeProfile(), BikesProfile(), EBooksProfile(),
+          SongsProfile()};
+}
+
+DatasetProfile ProfileByName(const std::string& name) {
+  for (DatasetProfile& p : AllProfiles()) {
+    if (p.name == name) {
+      return p;
+    }
+  }
+  TERIDS_CHECK(false);
+  return DatasetProfile();
+}
+
+}  // namespace terids

@@ -1,0 +1,57 @@
+#ifndef TERIDS_DATAGEN_PROFILES_H_
+#define TERIDS_DATAGEN_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+namespace terids {
+
+/// Structural profile of one evaluation dataset (Table 4 substitution; see
+/// DESIGN.md §4). Profiles encode what drives the paper's observed
+/// behavior: schema width, per-attribute token-set length ranges (EBooks'
+/// long `description` makes it the slowest dataset), vocabulary sizes, two
+/// sources with a planted match fraction, and topic structure.
+struct DatasetProfile {
+  std::string name;
+  std::vector<std::string> attributes;
+  /// Token count range per attribute for entity canonical values.
+  std::vector<int> min_tokens;
+  std::vector<int> max_tokens;
+  /// Vocabulary size per attribute (before topic partitioning).
+  std::vector<int> vocab_size;
+  /// Fraction of each attribute value's tokens that are the topic's shared
+  /// core (identical across all entities of the topic). This is what gives
+  /// attributes the cross-tuple dependence that CDD mining discovers: high
+  /// core fractions make an attribute largely determined by the topic of
+  /// the entity (e.g. venue/genre), low fractions make it entity-specific
+  /// (e.g. title).
+  std::vector<double> topic_core_fraction;
+  /// Paper-reported source sizes; the generator applies a scale factor.
+  int size_a = 0;
+  int size_b = 0;
+  /// Fraction of source-B records that duplicate a source-A entity.
+  double match_fraction = 0.5;
+  /// Per-token replacement probability when deriving a record from its
+  /// entity (duplicates are perturbed, not identical).
+  double perturbation = 0.12;
+  /// Number of latent topics; each entity belongs to exactly one.
+  int num_topics = 10;
+
+  int num_attributes() const { return static_cast<int>(attributes.size()); }
+};
+
+/// The five evaluation datasets of Section 6.1 (Table 4).
+DatasetProfile CitationsProfile();
+DatasetProfile AnimeProfile();
+DatasetProfile BikesProfile();
+DatasetProfile EBooksProfile();
+DatasetProfile SongsProfile();
+
+std::vector<DatasetProfile> AllProfiles();
+
+/// Profile by name ("Citations", ...), CHECK-fails on unknown names.
+DatasetProfile ProfileByName(const std::string& name);
+
+}  // namespace terids
+
+#endif  // TERIDS_DATAGEN_PROFILES_H_

@@ -1,0 +1,103 @@
+#include "er/bounds.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace terids {
+
+namespace {
+
+/// Lemma 4.1 for a single attribute.
+double AttrSizeUb(const Interval& sa, const Interval& sb) {
+  // |T^-| and |T^+| per side.
+  const double a_min = sa.lo;
+  const double a_max = sa.hi;
+  const double b_min = sb.lo;
+  const double b_max = sb.hi;
+  if (a_min > b_max) {
+    return a_min > 0 ? b_max / a_min : 1.0;
+  }
+  if (a_max < b_min) {
+    return b_min > 0 ? a_max / b_min : 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double UbSimTokenSize(const ImputedTuple& a, const ImputedTuple& b) {
+  TERIDS_CHECK(a.num_attributes() == b.num_attributes());
+  double ub = 0.0;
+  for (int k = 0; k < a.num_attributes(); ++k) {
+    ub += AttrSizeUb(a.token_size_interval(k), b.token_size_interval(k));
+  }
+  return ub;
+}
+
+double UbSimPivot(const ImputedTuple& a, const ImputedTuple& b) {
+  TERIDS_CHECK(a.num_attributes() == b.num_attributes());
+  const int d = a.num_attributes();
+  double sum_min_dist = 0.0;
+  for (int k = 0; k < d; ++k) {
+    // Every pivot gives a valid lower bound on dist(a[A_k], b[A_k]) via the
+    // triangle inequality; the tightest (largest) one wins.
+    double best = 0.0;
+    const int np = std::min(a.num_pivot_intervals(k), b.num_pivot_intervals(k));
+    for (int p = 0; p < np; ++p) {
+      const double lb = a.pivot_dist_interval(k, p).MinAbsDiff(
+          b.pivot_dist_interval(k, p));
+      best = std::max(best, lb);
+    }
+    sum_min_dist += best;
+  }
+  return static_cast<double>(d) - sum_min_dist;
+}
+
+double UbSim(const ImputedTuple& a, const ImputedTuple& b) {
+  return std::min(UbSimTokenSize(a, b), UbSimPivot(a, b));
+}
+
+double UbProbPaleyZygmund(const ImputedTuple& a, const ImputedTuple& b,
+                          double gamma) {
+  const int d = a.num_attributes();
+  TERIDS_CHECK(b.num_attributes() == d);
+  double e_x = 0.0;
+  double e_y = 0.0;
+  double lb_x = 0.0;
+  double ub_x = 0.0;
+  double lb_y = 0.0;
+  double ub_y = 0.0;
+  for (int k = 0; k < d; ++k) {
+    e_x += a.expected_pivot_dist(k, 0);
+    e_y += b.expected_pivot_dist(k, 0);
+    lb_x += a.pivot_dist_interval(k, 0).lo;
+    ub_x += a.pivot_dist_interval(k, 0).hi;
+    lb_y += b.pivot_dist_interval(k, 0).lo;
+    ub_y += b.pivot_dist_interval(k, 0).hi;
+  }
+  const double dg = static_cast<double>(d) - gamma;
+  const double mass = a.total_prob() * b.total_prob();
+
+  double bound = 1.0;
+  if (lb_x >= ub_y) {
+    // X - Y >= 0 always.
+    const double ez = e_x - e_y;
+    const double ubz = ub_x - lb_y;
+    if (ez > 0 && dg >= 0 && dg <= ez && ubz > 0) {
+      const double theta = dg / ez;
+      bound = 1.0 - (1.0 - theta) * (1.0 - theta) * (ez / ubz);
+    }
+  } else if (lb_y >= ub_x) {
+    const double ez = e_y - e_x;
+    const double ubz = ub_y - lb_x;
+    if (ez > 0 && dg >= 0 && dg <= ez && ubz > 0) {
+      const double theta = dg / ez;
+      bound = 1.0 - (1.0 - theta) * (1.0 - theta) * (ez / ubz);
+    }
+  }
+  bound = std::clamp(bound, 0.0, 1.0);
+  return bound * mass;
+}
+
+}  // namespace terids

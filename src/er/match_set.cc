@@ -1,0 +1,85 @@
+#include "er/match_set.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace terids {
+
+uint64_t MatchSet::Key(int64_t a, int64_t b) {
+  if (a > b) std::swap(a, b);
+  // rids are dense non-negative 32-bit-ish values in practice; pack.
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+void MatchSet::Add(int64_t rid_a, int64_t rid_b, double probability) {
+  TERIDS_CHECK(rid_a != rid_b);
+  MatchPair pair;
+  pair.rid_a = std::min(rid_a, rid_b);
+  pair.rid_b = std::max(rid_a, rid_b);
+  pair.probability = probability;
+  pairs_[Key(rid_a, rid_b)] = pair;
+  partners_[rid_a].insert(rid_b);
+  partners_[rid_b].insert(rid_a);
+}
+
+bool MatchSet::Remove(int64_t rid_a, int64_t rid_b) {
+  const auto it = pairs_.find(Key(rid_a, rid_b));
+  if (it == pairs_.end()) {
+    return false;
+  }
+  pairs_.erase(it);
+  auto erase_partner = [this](int64_t from, int64_t who) {
+    auto pit = partners_.find(from);
+    if (pit != partners_.end()) {
+      pit->second.erase(who);
+      if (pit->second.empty()) {
+        partners_.erase(pit);
+      }
+    }
+  };
+  erase_partner(rid_a, rid_b);
+  erase_partner(rid_b, rid_a);
+  return true;
+}
+
+int MatchSet::RemoveAllWith(int64_t rid) {
+  auto it = partners_.find(rid);
+  if (it == partners_.end()) {
+    return 0;
+  }
+  // Copy: Remove() mutates partners_[rid].
+  std::vector<int64_t> others(it->second.begin(), it->second.end());
+  int removed = 0;
+  for (int64_t other : others) {
+    if (Remove(rid, other)) {
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+bool MatchSet::Contains(int64_t rid_a, int64_t rid_b) const {
+  return pairs_.count(Key(rid_a, rid_b)) > 0;
+}
+
+double MatchSet::ProbabilityOf(int64_t rid_a, int64_t rid_b) const {
+  const auto it = pairs_.find(Key(rid_a, rid_b));
+  return it == pairs_.end() ? -1.0 : it->second.probability;
+}
+
+std::vector<MatchPair> MatchSet::ToVector() const {
+  std::vector<MatchPair> out;
+  out.reserve(pairs_.size());
+  for (const auto& [key, pair] : pairs_) {
+    (void)key;
+    out.push_back(pair);
+  }
+  std::sort(out.begin(), out.end(), [](const MatchPair& a, const MatchPair& b) {
+    return a.rid_a != b.rid_a ? a.rid_a < b.rid_a : a.rid_b < b.rid_b;
+  });
+  return out;
+}
+
+}  // namespace terids

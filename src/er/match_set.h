@@ -1,0 +1,55 @@
+#ifndef TERIDS_ER_MATCH_SET_H_
+#define TERIDS_ER_MATCH_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace terids {
+
+/// One TER-iDS result pair (r_i, r_j) with its ER probability.
+struct MatchPair {
+  int64_t rid_a = -1;  // always the smaller rid
+  int64_t rid_b = -1;
+  double probability = 0.0;
+};
+
+/// The entity result set ES maintained by Algorithm 1/2: current matching
+/// pairs over the live sliding windows, with O(1) insertion and efficient
+/// removal of every pair involving an expired tuple.
+class MatchSet {
+ public:
+  /// Inserts or updates a pair; order of the two rids is irrelevant.
+  void Add(int64_t rid_a, int64_t rid_b, double probability);
+
+  /// Removes one pair. Returns true if it was present.
+  bool Remove(int64_t rid_a, int64_t rid_b);
+
+  /// Removes every pair involving `rid` (tuple expiration). Returns the
+  /// number of pairs removed.
+  int RemoveAllWith(int64_t rid);
+
+  bool Contains(int64_t rid_a, int64_t rid_b) const;
+
+  /// Probability of a pair, or -1 if absent.
+  double ProbabilityOf(int64_t rid_a, int64_t rid_b) const;
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  /// Snapshot of the current result set.
+  std::vector<MatchPair> ToVector() const;
+
+ private:
+  static uint64_t Key(int64_t a, int64_t b);
+
+  std::unordered_map<uint64_t, MatchPair> pairs_;
+  // rid -> partner rids, for expiration.
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> partners_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_ER_MATCH_SET_H_

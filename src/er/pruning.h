@@ -1,0 +1,69 @@
+#ifndef TERIDS_ER_PRUNING_H_
+#define TERIDS_ER_PRUNING_H_
+
+#include <cstdint>
+
+#include "er/topic.h"
+#include "tuple/imputed_tuple.h"
+
+namespace terids {
+
+/// Per-strategy pruning counters, reported as the "pruning power" of
+/// Figure 4. Counters are at tuple-pair granularity and strategies are
+/// applied in the paper's order: topic keyword (Theorem 4.1), similarity
+/// upper bound (Theorem 4.2), probability upper bound (Theorem 4.3),
+/// instance-pair-level (Theorem 4.4).
+struct PruneStats {
+  uint64_t total_pairs = 0;
+  uint64_t topic_pruned = 0;
+  uint64_t sim_ub_pruned = 0;
+  uint64_t prob_ub_pruned = 0;
+  uint64_t instance_pruned = 0;
+  /// Pairs that survived all pruning and were fully refined.
+  uint64_t refined = 0;
+  uint64_t matched = 0;
+
+  void Add(const PruneStats& other) {
+    total_pairs += other.total_pairs;
+    topic_pruned += other.topic_pruned;
+    sim_ub_pruned += other.sim_ub_pruned;
+    prob_ub_pruned += other.prob_ub_pruned;
+    instance_pruned += other.instance_pruned;
+    refined += other.refined;
+    matched += other.matched;
+  }
+
+  double PowerOf(uint64_t count) const {
+    return total_pairs == 0
+               ? 0.0
+               : static_cast<double>(count) / static_cast<double>(total_pairs);
+  }
+  double TotalPower() const {
+    return PowerOf(topic_pruned + sim_ub_pruned + prob_ub_pruned +
+                   instance_pruned);
+  }
+};
+
+/// Outcome of evaluating one candidate tuple pair.
+enum class PairOutcome {
+  kTopicPruned,     // Theorem 4.1
+  kSimUbPruned,     // Theorem 4.2 (Lemmas 4.1 / 4.2)
+  kProbUbPruned,    // Theorem 4.3 (Lemma 4.3)
+  kInstancePruned,  // Theorem 4.4 early termination below alpha
+  kRefuted,         // fully refined, probability <= alpha
+  kMatched,         // probability > alpha
+};
+
+/// Applies the four pruning strategies in the paper's order and, if none
+/// fires, refines the exact probability. Updates `stats` (which must not be
+/// null) and writes the (possibly partial, see RefineResult) probability to
+/// `prob_out` when the outcome is kMatched.
+PairOutcome EvaluatePair(const ImputedTuple& a,
+                         const TopicQuery::TupleTopic& a_topic,
+                         const ImputedTuple& b,
+                         const TopicQuery::TupleTopic& b_topic, double gamma,
+                         double alpha, PruneStats* stats, double* prob_out);
+
+}  // namespace terids
+
+#endif  // TERIDS_ER_PRUNING_H_

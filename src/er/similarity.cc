@@ -1,0 +1,53 @@
+#include "er/similarity.h"
+
+#include "text/token_set.h"
+#include "util/status.h"
+
+namespace terids {
+
+double RecordSimilarity(const Record& a, const Record& b) {
+  TERIDS_CHECK(a.num_attributes() == b.num_attributes());
+  double sim = 0.0;
+  static const TokenSet kEmpty;
+  for (int k = 0; k < a.num_attributes(); ++k) {
+    const TokenSet& ta = a.values[k].missing ? kEmpty : a.values[k].tokens;
+    const TokenSet& tb = b.values[k].missing ? kEmpty : b.values[k].tokens;
+    sim += JaccardSimilarity(ta, tb);
+  }
+  return sim;
+}
+
+double InstanceSimilarity(const ImputedTuple& a, int inst_a,
+                          const ImputedTuple& b, int inst_b) {
+  TERIDS_CHECK(a.num_attributes() == b.num_attributes());
+  double sim = 0.0;
+  for (int k = 0; k < a.num_attributes(); ++k) {
+    sim += JaccardSimilarity(a.instance_tokens(inst_a, k),
+                             b.instance_tokens(inst_b, k));
+  }
+  return sim;
+}
+
+double InstanceDistance(const ImputedTuple& a, int inst_a,
+                        const ImputedTuple& b, int inst_b) {
+  return static_cast<double>(a.num_attributes()) -
+         InstanceSimilarity(a, inst_a, b, inst_b);
+}
+
+namespace {
+TokenSet UnionTokens(const Record& r) {
+  std::vector<Token> all;
+  for (const AttrValue& v : r.values) {
+    if (!v.missing) {
+      all.insert(all.end(), v.tokens.tokens().begin(), v.tokens.tokens().end());
+    }
+  }
+  return TokenSet::FromTokens(std::move(all));
+}
+}  // namespace
+
+double HeterogeneousRecordSimilarity(const Record& a, const Record& b) {
+  return JaccardSimilarity(UnionTokens(a), UnionTokens(b));
+}
+
+}  // namespace terids

@@ -1,0 +1,29 @@
+#ifndef TERIDS_ER_SIMILARITY_H_
+#define TERIDS_ER_SIMILARITY_H_
+
+#include "tuple/imputed_tuple.h"
+#include "tuple/record.h"
+
+namespace terids {
+
+/// The ER similarity function of Definition 5: the sum over all d
+/// attributes of the per-attribute Jaccard similarities. Range [0, d].
+double RecordSimilarity(const Record& a, const Record& b);
+
+/// Definition 5 between two materialized instances of imputed tuples.
+double InstanceSimilarity(const ImputedTuple& a, int inst_a,
+                          const ImputedTuple& b, int inst_b);
+
+/// The equivalent distance form used by the pivot bounds: dist(a, b) =
+/// d - sim(a, b) = sum of per-attribute Jaccard distances.
+double InstanceDistance(const ImputedTuple& a, int inst_a,
+                        const ImputedTuple& b, int inst_b);
+
+/// Similarity for heterogeneous schemas (Section 2.3's discussion): the
+/// Jaccard similarity of the union token sets T(r) and T(r') over all
+/// attributes. Range [0, 1]; missing attributes contribute nothing.
+double HeterogeneousRecordSimilarity(const Record& a, const Record& b);
+
+}  // namespace terids
+
+#endif  // TERIDS_ER_SIMILARITY_H_

@@ -1,0 +1,73 @@
+#include "er/topic.h"
+
+#include <algorithm>
+
+namespace terids {
+
+TopicQuery::TopicQuery(const TokenDict& dict,
+                       const std::vector<std::string>& keywords) {
+  unconstrained_ = keywords.empty();
+  for (const std::string& kw : keywords) {
+    Token t = dict.Find(kw);
+    if (t != kInvalidToken) {
+      keyword_tokens_.push_back(t);
+    }
+  }
+  std::sort(keyword_tokens_.begin(), keyword_tokens_.end());
+  keyword_tokens_.erase(
+      std::unique(keyword_tokens_.begin(), keyword_tokens_.end()),
+      keyword_tokens_.end());
+}
+
+bool TopicQuery::Matches(const TokenSet& tokens) const {
+  if (unconstrained_) {
+    return true;
+  }
+  for (Token t : keyword_tokens_) {
+    if (tokens.Contains(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t TopicQuery::MaskOf(const TokenSet& tokens) const {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < keyword_tokens_.size(); ++i) {
+    if (tokens.Contains(keyword_tokens_[i])) {
+      mask |= (1ULL << (i % 64));
+    }
+  }
+  return mask;
+}
+
+TopicQuery::TupleTopic TopicQuery::Classify(const ImputedTuple& tuple) const {
+  TupleTopic result;
+  const int d = tuple.num_attributes();
+  result.instance_matches.assign(tuple.num_instances(), false);
+  if (unconstrained_) {
+    result.instance_matches.assign(tuple.num_instances(), true);
+    result.any = true;
+    result.all = true;
+    result.possible_mask = ~0ULL;
+    return result;
+  }
+  result.all = tuple.num_instances() > 0;
+  for (int m = 0; m < tuple.num_instances(); ++m) {
+    bool matched = false;
+    for (int k = 0; k < d; ++k) {
+      const TokenSet& tokens = tuple.instance_tokens(m, k);
+      const uint64_t mask = MaskOf(tokens);
+      if (mask != 0) {
+        result.possible_mask |= mask;
+        matched = true;
+      }
+    }
+    result.instance_matches[m] = matched;
+    result.any = result.any || matched;
+    result.all = result.all && matched;
+  }
+  return result;
+}
+
+}  // namespace terids

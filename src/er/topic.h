@@ -1,0 +1,61 @@
+#ifndef TERIDS_ER_TOPIC_H_
+#define TERIDS_ER_TOPIC_H_
+
+#include <string>
+#include <vector>
+
+#include "text/token_dict.h"
+#include "text/token_set.h"
+#include "tuple/imputed_tuple.h"
+
+namespace terids {
+
+/// The query topic keyword set K and the Boolean topic predicate
+/// 𝜛(r, K) of the problem statement (Section 2.3).
+///
+/// An empty keyword set means "no topic constraint" (the paper's K = domain
+/// of all keywords); 𝜛 is then identically true and topic pruning is off.
+class TopicQuery {
+ public:
+  /// Keywords are looked up against a frozen dictionary: words never seen
+  /// by the dictionary can never match and are dropped.
+  TopicQuery(const TokenDict& dict, const std::vector<std::string>& keywords);
+
+  /// Constructs the unconstrained query.
+  TopicQuery() = default;
+
+  bool IsUnconstrained() const { return keyword_tokens_.empty() && unconstrained_; }
+  int num_keywords() const { return static_cast<int>(keyword_tokens_.size()); }
+
+  /// 𝜛 for a plain token set: true iff it contains at least one keyword.
+  bool Matches(const TokenSet& tokens) const;
+
+  /// Keyword bitmask of a token set: bit (i % 64) set iff keyword i occurs.
+  /// Masks are used as aggregate filters (DR-index, ER-grid); hashing
+  /// keywords onto 64 bits can only create false "possibly matches", never
+  /// false prunes.
+  uint64_t MaskOf(const TokenSet& tokens) const;
+
+  /// Topic classification of a whole imputed tuple.
+  struct TupleTopic {
+    /// Union of keyword masks over all instances and attributes.
+    uint64_t possible_mask = 0;
+    /// 𝜛(r_{i,m}, K) per instance.
+    std::vector<bool> instance_matches;
+    /// True iff some instance matches (the tuple can contribute a topical
+    /// pair); Theorem 4.1 prunes a pair only if `any` is false on BOTH
+    /// sides.
+    bool any = false;
+    /// True iff every instance matches.
+    bool all = false;
+  };
+  TupleTopic Classify(const ImputedTuple& tuple) const;
+
+ private:
+  bool unconstrained_ = true;
+  std::vector<Token> keyword_tokens_;  // sorted
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_ER_TOPIC_H_

@@ -1,0 +1,3 @@
+#include "eval/cost_breakdown.h"
+
+// CostBreakdown is header-only; this file anchors the build target.

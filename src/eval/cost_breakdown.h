@@ -1,0 +1,28 @@
+#ifndef TERIDS_EVAL_COST_BREAKDOWN_H_
+#define TERIDS_EVAL_COST_BREAKDOWN_H_
+
+namespace terids {
+
+/// Per-arrival cost accounting for the break-up analysis of Figure 6:
+/// online CDD selection, online imputation, and online ER cost.
+struct CostBreakdown {
+  double cdd_select_seconds = 0.0;
+  double impute_seconds = 0.0;
+  double er_seconds = 0.0;
+
+  double total_seconds() const {
+    return cdd_select_seconds + impute_seconds + er_seconds;
+  }
+
+  void Add(const CostBreakdown& other) {
+    cdd_select_seconds += other.cdd_select_seconds;
+    impute_seconds += other.impute_seconds;
+    er_seconds += other.er_seconds;
+  }
+
+  void Reset() { *this = CostBreakdown(); }
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_EVAL_COST_BREAKDOWN_H_

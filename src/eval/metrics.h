@@ -1,0 +1,27 @@
+#ifndef TERIDS_EVAL_METRICS_H_
+#define TERIDS_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "er/match_set.h"
+#include "tuple/record.h"
+
+namespace terids {
+
+/// Precision / recall / F-score of a returned pair set against ground truth
+/// (Equation 6).
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+  size_t true_positives = 0;
+  size_t returned = 0;
+  size_t truth_size = 0;
+};
+
+PrecisionRecall ComputeFScore(const std::vector<MatchPair>& returned,
+                              const std::vector<GroundTruthPair>& truth);
+
+}  // namespace terids
+
+#endif  // TERIDS_EVAL_METRICS_H_

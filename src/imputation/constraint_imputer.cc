@@ -1,0 +1,62 @@
+#include "imputation/constraint_imputer.h"
+
+#include "util/stopwatch.h"
+
+namespace terids {
+
+ConstraintImputer::ConstraintImputer(Repository* repo, int history_cap)
+    : repo_(repo), history_cap_(history_cap) {
+  TERIDS_CHECK(repo != nullptr);
+  TERIDS_CHECK(history_cap > 0);
+}
+
+void ConstraintImputer::OnArrival(const Record& r) {
+  if (!r.IsComplete()) {
+    return;
+  }
+  std::deque<Record>& h = history_[r.stream_id];
+  h.push_back(r);
+  if (static_cast<int>(h.size()) > history_cap_) {
+    h.pop_front();
+  }
+}
+
+void ConstraintImputer::OnEvict(const Record& r) {
+  std::deque<Record>& h = history_[r.stream_id];
+  if (!h.empty() && h.front().rid == r.rid) {
+    h.pop_front();
+  }
+}
+
+std::vector<ImputedTuple::ImputedAttr> ConstraintImputer::ImputeRecord(
+    const Record& r, CostBreakdown* cost) {
+  std::vector<ImputedTuple::ImputedAttr> result;
+  ScopedTimer timer(cost ? &cost->impute_seconds : nullptr);
+
+  // Sequential donor semantics [43]: the most *recent* complete tuple on
+  // the same stream fills the gaps. This is fast (no repository, no
+  // search) but ignores the semantic association between attribute values,
+  // which is exactly the weakness the paper reports for this baseline.
+  const std::deque<Record>& h = history_[r.stream_id];
+  const Record* best = nullptr;
+  for (auto it = h.rbegin(); it != h.rend(); ++it) {
+    if (it->rid != r.rid) {
+      best = &*it;
+      break;
+    }
+  }
+  if (best == nullptr) {
+    return result;
+  }
+  for (int j : r.MissingAttributes()) {
+    const AttrValue& donor = best->values[j];
+    const ValueId vid = repo_->RegisterValue(j, donor.tokens, donor.text);
+    ImputedTuple::ImputedAttr ia;
+    ia.attr = j;
+    ia.candidates.push_back({vid, 1.0});
+    result.push_back(std::move(ia));
+  }
+  return result;
+}
+
+}  // namespace terids

@@ -1,0 +1,141 @@
+#include "imputation/rule_based_imputer.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace terids {
+
+RuleBasedImputer::RuleBasedImputer(const Repository* repo,
+                                   std::vector<CddRule> rules,
+                                   RuleImputerOptions options)
+    : repo_(repo), rules_(std::move(rules)), options_(options) {
+  TERIDS_CHECK(repo != nullptr);
+  by_dependent_.resize(repo->num_attributes());
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    TERIDS_CHECK(rules_[i].dependent >= 0 &&
+                 rules_[i].dependent < repo->num_attributes());
+    by_dependent_[rules_[i].dependent].push_back(static_cast<int>(i));
+  }
+}
+
+const std::vector<int>& RuleBasedImputer::RulesForDependent(int attr) const {
+  TERIDS_CHECK(attr >= 0 && attr < static_cast<int>(by_dependent_.size()));
+  return by_dependent_[attr];
+}
+
+void AccumulateCandidates(const Repository& repo, const CddRule& rule,
+                          size_t sample_idx, bool use_coord_filter,
+                          std::unordered_map<ValueId, double>* freq) {
+  const int j = rule.dependent;
+  const AttributeDomain& dom = repo.domain(j);
+  const ValueId svid = repo.sample_value_id(sample_idx, j);
+  const TokenSet& s_tokens = dom.tokens(svid);
+  const Interval& dep = rule.dep_interval;
+
+  if (use_coord_filter && repo.has_pivots()) {
+    // Necessary condition via the metric embedding: |coord(val) - coord(s)|
+    // <= dist(val, s[A_j]) <= dep.hi, so only values in the coordinate band
+    // need exact verification.
+    const double coord_s = repo.coord(j, svid);
+    const Interval band =
+        Interval::Of(coord_s - dep.hi, coord_s + dep.hi);
+    for (ValueId val : repo.ValuesInCoordRange(j, band)) {
+      const double dist = JaccardDistance(s_tokens, dom.tokens(val));
+      if (dep.Contains(dist)) {
+        (*freq)[val] += 1.0;
+      }
+    }
+  } else {
+    for (ValueId val = 0; val < dom.size(); ++val) {
+      const double dist = JaccardDistance(s_tokens, dom.tokens(val));
+      if (dep.Contains(dist)) {
+        (*freq)[val] += 1.0;
+      }
+    }
+  }
+}
+
+std::vector<ImputedTuple::Candidate> FinalizeCandidates(
+    const std::unordered_map<ValueId, double>& freq, int max_candidates) {
+  std::vector<ImputedTuple::Candidate> out;
+  if (freq.empty()) {
+    return out;
+  }
+  double total = 0.0;
+  for (const auto& [vid, f] : freq) {
+    (void)vid;
+    total += f;
+  }
+  out.reserve(freq.size());
+  for (const auto& [vid, f] : freq) {
+    out.push_back({vid, f / total});
+  }
+  // Deterministic order: probability descending, ValueId ascending. The
+  // vid tie-break makes the cap cut identical regardless of accumulation
+  // order, so indexed and linear imputation produce byte-identical tuples.
+  std::sort(out.begin(), out.end(),
+            [](const ImputedTuple::Candidate& a,
+               const ImputedTuple::Candidate& b) {
+              return a.prob != b.prob ? a.prob > b.prob : a.vid < b.vid;
+            });
+  if (static_cast<int>(out.size()) > max_candidates) {
+    // Keep the top candidates and renormalize over the retained set: the
+    // truncated distribution becomes the imputation model. Without this,
+    // capping strands probability mass and a correctly-imputed pair whose
+    // candidates split the vote can never clear the alpha threshold.
+    out.resize(max_candidates);
+    double kept = 0.0;
+    for (const ImputedTuple::Candidate& c : out) {
+      kept += c.prob;
+    }
+    if (kept > 0.0) {
+      for (ImputedTuple::Candidate& c : out) {
+        c.prob /= kept;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ImputedTuple::ImputedAttr> RuleBasedImputer::ImputeRecord(
+    const Record& r, CostBreakdown* cost) {
+  std::vector<ImputedTuple::ImputedAttr> result;
+  for (int j : r.MissingAttributes()) {
+    // Rule selection phase: find the applicable rules with dependent A_j.
+    std::vector<const CddRule*> applicable;
+    {
+      ScopedTimer timer(cost ? &cost->cdd_select_seconds : nullptr);
+      for (int idx : by_dependent_[j]) {
+        if (rules_[idx].ApplicableTo(r)) {
+          applicable.push_back(&rules_[idx]);
+        }
+      }
+    }
+    // Imputation phase: retrieve satisfying samples and accumulate the
+    // multi-rule frequency distribution of Equation (4).
+    std::unordered_map<ValueId, double> freq;
+    {
+      ScopedTimer timer(cost ? &cost->impute_seconds : nullptr);
+      for (const CddRule* rule : applicable) {
+        for (size_t i = 0; i < repo_->num_samples(); ++i) {
+          if (rule->DeterminantsSatisfied(r, *repo_, i)) {
+            AccumulateCandidates(*repo_, *rule, i, options_.use_coord_filter,
+                                 &freq);
+          }
+        }
+      }
+    }
+    std::vector<ImputedTuple::Candidate> cands =
+        FinalizeCandidates(freq, options_.max_candidates_per_attr);
+    if (!cands.empty()) {
+      ImputedTuple::ImputedAttr ia;
+      ia.attr = j;
+      ia.candidates = std::move(cands);
+      result.push_back(std::move(ia));
+    }
+  }
+  return result;
+}
+
+}  // namespace terids

@@ -1,0 +1,70 @@
+#ifndef TERIDS_IMPUTATION_RULE_BASED_IMPUTER_H_
+#define TERIDS_IMPUTATION_RULE_BASED_IMPUTER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "imputation/imputer.h"
+#include "repo/repository.h"
+#include "rules/rule.h"
+
+namespace terids {
+
+/// Options for rule-based imputation.
+struct RuleImputerOptions {
+  /// Candidate values retained per missing attribute (highest frequency
+  /// first) before instance materialization.
+  int max_candidates_per_attr = 16;
+  /// If true, candidate retrieval uses the sorted main-pivot coordinate
+  /// lists as a necessary-condition filter before exact verification; if
+  /// false, the whole attribute domain is scanned (the unindexed baselines
+  /// CDD+ER / DD+ER / er+ER).
+  bool use_coord_filter = true;
+};
+
+/// Imputes missing attributes by applying dependency rules against the data
+/// repository R (Section 3).
+///
+/// One engine serves all three rule families — CDDs (Equations 3/4), DDs,
+/// and editing rules — because they share the representation (rules/rule.h):
+/// construct it with the corresponding miner output. This is the *linear*
+/// strategy (scan all rules, scan all samples); the TER-iDS engine replaces
+/// both scans with the CDD-index / DR-index join but reuses the candidate
+/// accumulation helpers below, so indexed and unindexed paths provably
+/// impute identically.
+class RuleBasedImputer : public Imputer {
+ public:
+  RuleBasedImputer(const Repository* repo, std::vector<CddRule> rules,
+                   RuleImputerOptions options);
+
+  std::vector<ImputedTuple::ImputedAttr> ImputeRecord(
+      const Record& r, CostBreakdown* cost) override;
+
+  const std::vector<CddRule>& rules() const { return rules_; }
+  /// Indices (into rules()) of the rules whose dependent attribute is j.
+  const std::vector<int>& RulesForDependent(int attr) const;
+
+ private:
+  const Repository* repo_;
+  std::vector<CddRule> rules_;
+  std::vector<std::vector<int>> by_dependent_;
+  RuleImputerOptions options_;
+};
+
+/// Accumulates, into `freq`, the candidate set cand(s[A_j]) contributed by
+/// one (rule, repository sample) combination: every domain value `val` of
+/// attribute `attr_j` with dist(s[A_j], val) inside the rule's dependent
+/// interval gets its frequency bumped by 1 (Section 3). The caller is
+/// responsible for having verified the determinant constraints.
+void AccumulateCandidates(const Repository& repo, const CddRule& rule,
+                          size_t sample_idx, bool use_coord_filter,
+                          std::unordered_map<ValueId, double>* freq);
+
+/// Converts an accumulated frequency distribution into the normalized
+/// candidate list of Equation (4), keeping the top `max_candidates`.
+std::vector<ImputedTuple::Candidate> FinalizeCandidates(
+    const std::unordered_map<ValueId, double>& freq, int max_candidates);
+
+}  // namespace terids
+
+#endif  // TERIDS_IMPUTATION_RULE_BASED_IMPUTER_H_

@@ -1,0 +1,66 @@
+#include "imputation/value_neighborhoods.h"
+
+#include <algorithm>
+
+namespace terids {
+
+ValueNeighborhoods::ValueNeighborhoods(const Repository* repo,
+                                       std::vector<double> radius)
+    : repo_(repo), radius_(std::move(radius)) {
+  TERIDS_CHECK(repo != nullptr);
+  TERIDS_CHECK(static_cast<int>(radius_.size()) == repo->num_attributes());
+  cache_.resize(radius_.size());
+}
+
+std::vector<double> ValueNeighborhoods::MaxRadiusPerAttr(
+    const std::vector<CddRule>& rules, int num_attributes) {
+  std::vector<double> radius(num_attributes, 0.0);
+  for (const CddRule& rule : rules) {
+    radius[rule.dependent] =
+        std::max(radius[rule.dependent], rule.dep_interval.hi);
+  }
+  return radius;
+}
+
+const std::vector<std::pair<double, ValueId>>& ValueNeighborhoods::Neighborhood(
+    int attr, ValueId vid) {
+  auto it = cache_[attr].find(vid);
+  if (it != cache_[attr].end()) {
+    return it->second;
+  }
+  const double radius = radius_[attr];
+  const AttributeDomain& dom = repo_->domain(attr);
+  const TokenSet& center = dom.tokens(vid);
+  const double coord = repo_->coord(attr, vid);
+  std::vector<std::pair<double, ValueId>> neighbors;
+  // |coord(v) - coord(center)| <= dist(v, center): the coordinate band is a
+  // sound prefilter for the radius ball.
+  for (ValueId other : repo_->ValuesInCoordRange(
+           attr, Interval::Of(coord - radius, coord + radius))) {
+    const double dist = JaccardDistance(center, dom.tokens(other));
+    if (dist <= radius) {
+      neighbors.emplace_back(dist, other);
+    }
+  }
+  std::sort(neighbors.begin(), neighbors.end());
+  return cache_[attr].emplace(vid, std::move(neighbors)).first->second;
+}
+
+void ValueNeighborhoods::AccumulateRange(
+    int attr, ValueId svid, const Interval& dep,
+    std::unordered_map<ValueId, double>* freq) {
+  const auto& neighbors = Neighborhood(attr, svid);
+  auto lo = std::lower_bound(neighbors.begin(), neighbors.end(),
+                             std::make_pair(dep.lo, static_cast<ValueId>(0)));
+  for (auto it = lo; it != neighbors.end() && it->first <= dep.hi; ++it) {
+    (*freq)[it->second] += 1.0;
+  }
+}
+
+void ValueNeighborhoods::Invalidate() {
+  for (auto& per_attr : cache_) {
+    per_attr.clear();
+  }
+}
+
+}  // namespace terids

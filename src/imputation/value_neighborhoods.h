@@ -1,0 +1,53 @@
+#ifndef TERIDS_IMPUTATION_VALUE_NEIGHBORHOODS_H_
+#define TERIDS_IMPUTATION_VALUE_NEIGHBORHOODS_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "repo/repository.h"
+#include "rules/rule.h"
+
+namespace terids {
+
+/// Distance-sorted neighbor lists of attribute-domain values, the
+/// value-level companion of the DR-index: for a domain value v of attribute
+/// x, Neighborhood(x, v) lists every value within `radius[x]` of v, sorted
+/// by Jaccard distance.
+///
+/// Candidate sets cand(s[A_j]) (Section 3) are binary-searched slices of
+/// these lists, so an index-assisted engine computes each domain-to-domain
+/// distance at most once per engine lifetime, while the unindexed baselines
+/// rescan the domain per (rule, sample, arrival). Lists are built lazily
+/// (only values that actually appear as satisfying samples pay the cost)
+/// using the repository's sorted-coordinate filter.
+class ValueNeighborhoods {
+ public:
+  /// `radius[x]` caps the usable dependent-interval hi on attribute x; pass
+  /// MaxRadiusPerAttr(rules, d) for a rule set.
+  ValueNeighborhoods(const Repository* repo, std::vector<double> radius);
+
+  static std::vector<double> MaxRadiusPerAttr(const std::vector<CddRule>& rules,
+                                              int num_attributes);
+
+  const std::vector<std::pair<double, ValueId>>& Neighborhood(int attr,
+                                                              ValueId vid);
+
+  /// Accumulates the candidate slice within `dep` around sample value
+  /// `svid` into `freq` (+1 per value, Equation 3/4 semantics).
+  void AccumulateRange(int attr, ValueId svid, const Interval& dep,
+                       std::unordered_map<ValueId, double>* freq);
+
+  /// Drops all cached lists (repository domains changed).
+  void Invalidate();
+
+ private:
+  const Repository* repo_;
+  std::vector<double> radius_;
+  std::vector<std::unordered_map<ValueId, std::vector<std::pair<double, ValueId>>>>
+      cache_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_IMPUTATION_VALUE_NEIGHBORHOODS_H_

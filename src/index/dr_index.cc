@@ -1,0 +1,114 @@
+#include "index/dr_index.h"
+
+namespace terids {
+
+ProbeCoords ProbeCoords::Compute(const Record& r, const Repository& repo) {
+  ProbeCoords pc;
+  const int d = repo.num_attributes();
+  pc.coords.resize(d);
+  for (int x = 0; x < d; ++x) {
+    if (r.values[x].missing) {
+      continue;  // left empty
+    }
+    const int np = repo.num_pivots(x);
+    pc.coords[x].reserve(np);
+    for (int a = 0; a < np; ++a) {
+      pc.coords[x].push_back(
+          JaccardDistance(r.values[x].tokens, repo.pivot_tokens(x, a)));
+    }
+  }
+  return pc;
+}
+
+DrIndex::DrIndex(const Repository* repo)
+    : repo_(repo), tree_(repo->num_attributes()) {
+  TERIDS_CHECK(repo != nullptr);
+}
+
+ArTreeEntry DrIndex::MakeEntry(size_t sample_idx) const {
+  const int d = repo_->num_attributes();
+  ArTreeEntry entry;
+  entry.payload = static_cast<int64_t>(sample_idx);
+  entry.box.resize(d);
+  entry.agg.aux_dist.resize(d);
+  entry.agg.size_intervals.resize(d);
+  for (int x = 0; x < d; ++x) {
+    const ValueId vid = repo_->sample_value_id(sample_idx, x);
+    entry.box[x] = Interval::Point(repo_->coord(x, vid));
+    const int np = repo_->num_pivots(x);
+    for (int a = 1; a < np; ++a) {
+      entry.agg.aux_dist[x].push_back(
+          Interval::Point(repo_->pivot_distance(x, a, vid)));
+    }
+    entry.agg.size_intervals[x] = Interval::Point(
+        static_cast<double>(repo_->domain(x).tokens(vid).size()));
+  }
+  return entry;
+}
+
+void DrIndex::Build() {
+  TERIDS_CHECK(repo_->has_pivots());
+  std::vector<ArTreeEntry> entries;
+  entries.reserve(repo_->num_samples());
+  for (size_t i = 0; i < repo_->num_samples(); ++i) {
+    entries.push_back(MakeEntry(i));
+  }
+  tree_.BulkLoad(std::move(entries));
+}
+
+void DrIndex::InsertSample(size_t sample_idx) {
+  tree_.Insert(MakeEntry(sample_idx));
+}
+
+namespace {
+/// Shared band predicate, applied to internal nodes (aggregated boxes) and
+/// to leaf entries (point boxes) alike.
+bool PassesBands(const std::vector<Interval>& box, const NodeAggregates& agg,
+                 const std::vector<AttrBand>& bands) {
+  for (size_t x = 0; x < bands.size(); ++x) {
+    const AttrBand& band = bands[x];
+    if (band.pivot_bands.empty() && band.size_band.empty()) {
+      continue;
+    }
+    if (!band.pivot_bands.empty()) {
+      if (!box[x].Overlaps(band.pivot_bands[0])) {
+        return false;
+      }
+      // Auxiliary pivot bands against the aggregates.
+      if (x < agg.aux_dist.size()) {
+        const auto& aux = agg.aux_dist[x];
+        for (size_t a = 1; a < band.pivot_bands.size(); ++a) {
+          if (a - 1 < aux.size() && !aux[a - 1].empty() &&
+              !aux[a - 1].Overlaps(band.pivot_bands[a])) {
+            return false;
+          }
+        }
+      }
+    }
+    if (!band.size_band.empty() && x < agg.size_intervals.size() &&
+        !agg.size_intervals[x].empty() &&
+        !agg.size_intervals[x].Overlaps(band.size_band)) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<size_t> DrIndex::Retrieve(
+    const std::vector<AttrBand>& bands) const {
+  TERIDS_CHECK(static_cast<int>(bands.size()) == repo_->num_attributes());
+  std::vector<size_t> out;
+  tree_.Query(
+      [&bands](const ArTree::NodeView& node) {
+        return PassesBands(node.box, node.agg, bands);
+      },
+      [&out, &bands](const ArTreeEntry& entry) {
+        if (PassesBands(entry.box, entry.agg, bands)) {
+          out.push_back(static_cast<size_t>(entry.payload));
+        }
+      });
+  return out;
+}
+
+}  // namespace terids

@@ -1,0 +1,166 @@
+#include "pivot/pivot_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace terids {
+
+PivotSelector::PivotSelector(const Repository* repo, PivotOptions options)
+    : repo_(repo), options_(options) {
+  TERIDS_CHECK(repo != nullptr);
+  TERIDS_CHECK(options_.buckets >= 2);
+  TERIDS_CHECK(options_.cnt_max >= 1);
+}
+
+double PivotSelector::Entropy(const std::vector<double>& coords, int buckets) {
+  if (coords.empty()) {
+    return 0.0;
+  }
+  std::vector<int> counts(buckets, 0);
+  for (double c : coords) {
+    int b = static_cast<int>(c * buckets);
+    if (b >= buckets) b = buckets - 1;
+    if (b < 0) b = 0;
+    ++counts[b];
+  }
+  double h = 0.0;
+  const double n = static_cast<double>(coords.size());
+  for (int count : counts) {
+    if (count == 0) continue;
+    const double p = count / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double PivotSelector::JointEntropy(
+    const std::vector<std::vector<double>>& coords, int buckets) {
+  if (coords.empty() || coords[0].empty()) {
+    return 0.0;
+  }
+  const size_t n = coords[0].size();
+  std::unordered_map<uint64_t, int> counts;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t cell = 0;
+    for (const std::vector<double>& list : coords) {
+      TERIDS_CHECK(list.size() == n);
+      int b = static_cast<int>(list[i] * buckets);
+      if (b >= buckets) b = buckets - 1;
+      if (b < 0) b = 0;
+      cell = cell * static_cast<uint64_t>(buckets) + static_cast<uint64_t>(b);
+    }
+    ++counts[cell];
+  }
+  double h = 0.0;
+  const double nd = static_cast<double>(n);
+  for (const auto& [cell, count] : counts) {
+    (void)cell;
+    const double p = count / nd;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+AttributePivots PivotSelector::SelectForAttribute(int attr) const {
+  const AttributeDomain& dom = repo_->domain(attr);
+  AttributePivots result;
+  if (dom.size() == 0) {
+    result.pivots.push_back(TokenSet());
+    return result;
+  }
+
+  Rng rng(options_.seed + static_cast<uint64_t>(attr) * 1000003ULL);
+
+  // Evaluation set: the domain values whose converted-coordinate spread the
+  // entropy is estimated over.
+  std::vector<ValueId> eval_set;
+  if (options_.eval_samples <= 0 ||
+      dom.size() <= static_cast<size_t>(options_.eval_samples)) {
+    for (ValueId v = 0; v < dom.size(); ++v) eval_set.push_back(v);
+  } else {
+    for (int i = 0; i < options_.eval_samples; ++i) {
+      eval_set.push_back(static_cast<ValueId>(rng.NextBounded(dom.size())));
+    }
+  }
+
+  // Candidate pivots.
+  std::vector<ValueId> candidates;
+  if (options_.candidate_samples <= 0 ||
+      dom.size() <= static_cast<size_t>(options_.candidate_samples)) {
+    for (ValueId v = 0; v < dom.size(); ++v) candidates.push_back(v);
+  } else {
+    for (int i = 0; i < options_.candidate_samples; ++i) {
+      candidates.push_back(static_cast<ValueId>(rng.NextBounded(dom.size())));
+    }
+  }
+
+  // Coordinates of the eval set under each candidate pivot.
+  std::vector<std::vector<double>> cand_coords(candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    cand_coords[c].reserve(eval_set.size());
+    const TokenSet& piv = dom.tokens(candidates[c]);
+    for (ValueId v : eval_set) {
+      cand_coords[c].push_back(JaccardDistance(dom.tokens(v), piv));
+    }
+  }
+
+  // Greedy selection: first maximize single-pivot entropy; then add the
+  // auxiliary pivot maximizing joint entropy until eMin or cntMax.
+  std::vector<size_t> chosen;
+  std::vector<std::vector<double>> chosen_coords;
+  double best_h = -1.0;
+  size_t best_c = 0;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const double h = Entropy(cand_coords[c], options_.buckets);
+    if (h > best_h) {
+      best_h = h;
+      best_c = c;
+    }
+  }
+  chosen.push_back(best_c);
+  chosen_coords.push_back(cand_coords[best_c]);
+  double joint = best_h;
+
+  while (joint < options_.min_entropy &&
+         static_cast<int>(chosen.size()) < options_.cnt_max) {
+    double best_joint = joint;
+    size_t next = candidates.size();
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (std::find(chosen.begin(), chosen.end(), c) != chosen.end()) {
+        continue;
+      }
+      chosen_coords.push_back(cand_coords[c]);
+      const double h = JointEntropy(chosen_coords, options_.buckets);
+      chosen_coords.pop_back();
+      if (h > best_joint) {
+        best_joint = h;
+        next = c;
+      }
+    }
+    if (next == candidates.size()) {
+      break;  // No candidate improves the joint entropy.
+    }
+    chosen.push_back(next);
+    chosen_coords.push_back(cand_coords[next]);
+    joint = best_joint;
+  }
+
+  for (size_t c : chosen) {
+    result.pivots.push_back(dom.tokens(candidates[c]));
+  }
+  return result;
+}
+
+std::vector<AttributePivots> PivotSelector::SelectAll() const {
+  std::vector<AttributePivots> out;
+  out.reserve(repo_->num_attributes());
+  for (int x = 0; x < repo_->num_attributes(); ++x) {
+    out.push_back(SelectForAttribute(x));
+  }
+  return out;
+}
+
+}  // namespace terids

@@ -1,0 +1,62 @@
+#ifndef TERIDS_PIVOT_PIVOT_SELECTOR_H_
+#define TERIDS_PIVOT_PIVOT_SELECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "repo/repository.h"
+
+namespace terids {
+
+/// Options for the cost-model-based pivot selection of Section 5.4 and
+/// Appendix B.
+struct PivotOptions {
+  /// Number of equi-width buckets P the converted space [0,1] is split into
+  /// for the Shannon-entropy cost model (the paper evaluates with P = 10).
+  int buckets = 10;
+  /// Minimal entropy threshold eMin: selection stops adding auxiliary
+  /// pivots once the joint entropy reaches this (paper default 1.5).
+  double min_entropy = 1.5;
+  /// Maximal allowed number of attribute pivots cntMax (paper varies 1-5).
+  int cnt_max = 3;
+  /// To bound the offline cost, at most this many domain values are tried
+  /// as candidate pivots per attribute (<= 0 means try the whole domain).
+  int candidate_samples = 96;
+  /// Entropy is estimated over at most this many domain values
+  /// (<= 0 means use the whole domain).
+  int eval_samples = 1024;
+  uint64_t seed = 7;
+};
+
+/// Selects, for each attribute A_x, up to cntMax pivot attribute values
+/// from dom(A_x) that maximize the Shannon entropy of the converted values
+/// dist(s[A_x], piv[A_x]) (Equation 5). The first selected pivot is the
+/// main pivot; additional pivots are auxiliary and are added greedily while
+/// the joint entropy is below eMin.
+class PivotSelector {
+ public:
+  PivotSelector(const Repository* repo, PivotOptions options);
+
+  /// Pivots for every attribute; feed the result to
+  /// Repository::AttachPivots().
+  std::vector<AttributePivots> SelectAll() const;
+
+  AttributePivots SelectForAttribute(int attr) const;
+
+  /// Shannon entropy (Equation 5) of coordinates in [0,1] over `buckets`
+  /// equi-width buckets. Exposed for tests and the ablation bench.
+  static double Entropy(const std::vector<double>& coords, int buckets);
+
+  /// Joint entropy over the product bucketing of several coordinate lists
+  /// (one list per pivot, all of equal length).
+  static double JointEntropy(const std::vector<std::vector<double>>& coords,
+                             int buckets);
+
+ private:
+  const Repository* repo_;
+  PivotOptions options_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_PIVOT_PIVOT_SELECTOR_H_

@@ -1,0 +1,141 @@
+#ifndef TERIDS_REPO_REPOSITORY_H_
+#define TERIDS_REPO_REPOSITORY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/token_dict.h"
+#include "text/token_set.h"
+#include "tuple/record.h"
+#include "tuple/schema.h"
+#include "util/interval.h"
+#include "util/status.h"
+
+namespace terids {
+
+/// Identifier of a distinct attribute value inside an AttributeDomain.
+using ValueId = uint32_t;
+inline constexpr ValueId kInvalidValueId = static_cast<ValueId>(-1);
+
+/// The domain dom(A_x) of one attribute: all distinct values observed in the
+/// data repository R, deduplicated by token set. Imputation candidates are
+/// always ValueIds into a domain (Section 3).
+class AttributeDomain {
+ public:
+  AttributeDomain() = default;
+
+  /// Adds (or finds) a value; returns its id. `text` is kept for display.
+  ValueId FindOrAdd(const TokenSet& tokens, const std::string& text);
+
+  /// Id of an existing value with this exact token set, or kInvalidValueId.
+  ValueId Find(const TokenSet& tokens) const;
+
+  size_t size() const { return values_.size(); }
+  const TokenSet& tokens(ValueId id) const;
+  const std::string& text(ValueId id) const;
+
+  /// Number of repository samples carrying this value (editing-rule mining
+  /// uses this to pick frequent constants).
+  int frequency(ValueId id) const;
+  void BumpFrequency(ValueId id) { ++frequencies_[id]; }
+
+ private:
+  static uint64_t HashTokens(const TokenSet& tokens);
+
+  std::vector<TokenSet> values_;
+  std::vector<std::string> texts_;
+  std::vector<int> frequencies_;
+  std::unordered_multimap<uint64_t, ValueId> by_hash_;
+};
+
+/// Pivot attribute values selected for one attribute: pivots[0] is the main
+/// pivot (defines the metric-embedding coordinate), pivots[1..] are the
+/// auxiliary pivots used only for aggregate pruning intervals (Section 5.1).
+struct AttributePivots {
+  std::vector<TokenSet> pivots;
+  int count() const { return static_cast<int>(pivots.size()); }
+};
+
+/// The static complete data repository R (Section 2.2).
+///
+/// Holds complete sample tuples, per-attribute domains, and — once pivots
+/// are attached — precomputed pivot-distance tables that back the DR-index,
+/// the CDD-index constraint geometry, and imputation candidate retrieval.
+class Repository {
+ public:
+  Repository(const Schema* schema, const TokenDict* dict);
+
+  Repository(const Repository&) = delete;
+  Repository& operator=(const Repository&) = delete;
+  Repository(Repository&&) = default;
+  Repository& operator=(Repository&&) = default;
+
+  /// Adds a complete sample tuple. Returns InvalidArgument if the record has
+  /// missing attributes or the wrong arity. May be called after
+  /// AttachPivots() (dynamic repository, Section 5.5): pivot-distance
+  /// tables are extended incrementally for any new domain values.
+  Status AddSample(const Record& record);
+
+  /// Registers a value in dom(`attr`) without adding a sample (used by the
+  /// constraint-based imputer, whose candidates come from the stream rather
+  /// than from R). Extends pivot tables if pivots are attached.
+  ValueId RegisterValue(int attr, const TokenSet& tokens,
+                        const std::string& text);
+
+  const Schema& schema() const { return *schema_; }
+  const TokenDict& dict() const { return *dict_; }
+  int num_attributes() const { return schema_->num_attributes(); }
+  size_t num_samples() const { return samples_.size(); }
+
+  const Record& sample(size_t i) const { return samples_[i]; }
+  /// ValueId of sample i's attribute x within dom(A_x).
+  ValueId sample_value_id(size_t i, int attr) const;
+
+  const AttributeDomain& domain(int attr) const;
+  AttributeDomain& mutable_domain(int attr);
+
+  // ---- Pivot machinery -----------------------------------------------
+
+  /// Installs pivots and precomputes, for every attribute x, pivot a, and
+  /// domain value v: dist(v, piv_a[A_x]). Also builds the sorted
+  /// (main-pivot-coordinate, ValueId) lists used for candidate retrieval.
+  void AttachPivots(std::vector<AttributePivots> pivots);
+
+  bool has_pivots() const { return !pivots_.empty(); }
+  int num_pivots(int attr) const;
+  const TokenSet& pivot_tokens(int attr, int pivot_idx) const;
+
+  /// dist(domain value `vid` of `attr`, pivot `pivot_idx` of `attr`).
+  double pivot_distance(int attr, int pivot_idx, ValueId vid) const;
+
+  /// Main-pivot coordinate of a domain value (pivot_distance with pivot 0).
+  double coord(int attr, ValueId vid) const {
+    return pivot_distance(attr, 0, vid);
+  }
+
+  /// All domain values of `attr` whose main-pivot coordinate lies in
+  /// [coord_interval.lo, coord_interval.hi]. This is the necessary-condition
+  /// filter |coord(v) - coord(u)| <= eps used before exact verification.
+  std::vector<ValueId> ValuesInCoordRange(int attr,
+                                          const Interval& coord_interval) const;
+
+ private:
+  const Schema* schema_;
+  const TokenDict* dict_;
+  std::vector<Record> samples_;
+  // sample_vids_[i][x] = ValueId of sample i's attribute x.
+  std::vector<std::vector<ValueId>> sample_vids_;
+  std::vector<AttributeDomain> domains_;
+
+  std::vector<AttributePivots> pivots_;
+  // pivot_dists_[x][a][vid] = dist(dom value vid, pivot a of attr x).
+  std::vector<std::vector<std::vector<double>>> pivot_dists_;
+  // sorted_coords_[x] = (main-pivot coord, vid) pairs sorted by coord.
+  std::vector<std::vector<std::pair<double, ValueId>>> sorted_coords_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_REPO_REPOSITORY_H_

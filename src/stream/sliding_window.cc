@@ -1,0 +1,23 @@
+#include "stream/sliding_window.h"
+
+#include "util/status.h"
+
+namespace terids {
+
+SlidingWindow::SlidingWindow(int capacity) : capacity_(capacity) {
+  TERIDS_CHECK(capacity > 0);
+}
+
+std::shared_ptr<WindowTuple> SlidingWindow::Push(
+    std::shared_ptr<WindowTuple> t) {
+  TERIDS_CHECK(t != nullptr);
+  tuples_.push_back(std::move(t));
+  if (static_cast<int>(tuples_.size()) > capacity_) {
+    std::shared_ptr<WindowTuple> evicted = std::move(tuples_.front());
+    tuples_.pop_front();
+    return evicted;
+  }
+  return nullptr;
+}
+
+}  // namespace terids

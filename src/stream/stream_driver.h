@@ -1,0 +1,44 @@
+#ifndef TERIDS_STREAM_STREAM_DRIVER_H_
+#define TERIDS_STREAM_STREAM_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tuple/record.h"
+
+namespace terids {
+
+/// Interleaves n record sources into one global arrival order (Definition
+/// 1: one tuple per timestamp). Round-robin across sources, which models
+/// the paper's setting of n streams progressing together; a seeded random
+/// interleaving is also available for robustness tests.
+class StreamDriver {
+ public:
+  /// `sources[i]` becomes stream id i. Records receive their stream id and
+  /// arrival timestamps 0,1,2,... in interleaved order.
+  explicit StreamDriver(std::vector<std::vector<Record>> sources);
+
+  /// Whether another arrival is available.
+  bool HasNext() const;
+
+  /// Next arriving record (stream id and timestamp already stamped).
+  Record Next();
+
+  /// Remaining arrivals.
+  size_t remaining() const { return total_ - emitted_; }
+  size_t total() const { return total_; }
+
+  void Reset();
+
+ private:
+  std::vector<std::vector<Record>> sources_;
+  std::vector<size_t> cursor_;
+  size_t next_stream_ = 0;
+  size_t emitted_ = 0;
+  size_t total_ = 0;
+  int64_t clock_ = 0;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_STREAM_STREAM_DRIVER_H_

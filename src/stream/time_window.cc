@@ -1,0 +1,35 @@
+#include "stream/time_window.h"
+
+#include "util/status.h"
+
+namespace terids {
+
+TimeBasedWindow::TimeBasedWindow(int64_t duration) : duration_(duration) {
+  TERIDS_CHECK(duration > 0);
+}
+
+std::vector<std::shared_ptr<WindowTuple>> TimeBasedWindow::Push(
+    std::shared_ptr<WindowTuple> t) {
+  TERIDS_CHECK(t != nullptr);
+  const int64_t ts = t->tuple->timestamp();
+  TERIDS_CHECK(ts >= now_ || tuples_.empty());
+  std::vector<std::shared_ptr<WindowTuple>> evicted = AdvanceTo(ts);
+  tuples_.push_back(std::move(t));
+  return evicted;
+}
+
+std::vector<std::shared_ptr<WindowTuple>> TimeBasedWindow::AdvanceTo(
+    int64_t now) {
+  if (now > now_) {
+    now_ = now;
+  }
+  std::vector<std::shared_ptr<WindowTuple>> evicted;
+  while (!tuples_.empty() &&
+         now_ - tuples_.front()->tuple->timestamp() >= duration_) {
+    evicted.push_back(std::move(tuples_.front()));
+    tuples_.pop_front();
+  }
+  return evicted;
+}
+
+}  // namespace terids

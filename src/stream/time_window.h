@@ -1,0 +1,45 @@
+#ifndef TERIDS_STREAM_TIME_WINDOW_H_
+#define TERIDS_STREAM_TIME_WINDOW_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "stream/sliding_window.h"
+
+namespace terids {
+
+/// Time-based sliding window [39] — the paper's noted extension of its
+/// count-based model (Section 2.1): the window holds every tuple whose
+/// timestamp is within `duration` of the current clock, so more than one
+/// tuple may arrive per timestamp and evictions come in batches.
+class TimeBasedWindow {
+ public:
+  /// `duration` is in timestamp units; a tuple with timestamp ts is live
+  /// while now - ts < duration.
+  explicit TimeBasedWindow(int64_t duration);
+
+  /// Appends `t` (its tuple's timestamp must be non-decreasing across
+  /// calls) and advances the clock to that timestamp; returns every tuple
+  /// that expired as a result.
+  std::vector<std::shared_ptr<WindowTuple>> Push(
+      std::shared_ptr<WindowTuple> t);
+
+  /// Advances the clock without an arrival; returns the expired tuples.
+  std::vector<std::shared_ptr<WindowTuple>> AdvanceTo(int64_t now);
+
+  const std::deque<std::shared_ptr<WindowTuple>>& tuples() const {
+    return tuples_;
+  }
+  size_t size() const { return tuples_.size(); }
+  int64_t duration() const { return duration_; }
+
+ private:
+  int64_t duration_;
+  int64_t now_ = 0;
+  std::deque<std::shared_ptr<WindowTuple>> tuples_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_STREAM_TIME_WINDOW_H_

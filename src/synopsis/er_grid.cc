@@ -1,0 +1,172 @@
+#include "synopsis/er_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace terids {
+
+ErGrid::ErGrid(int dims, double cell_width)
+    : dims_(dims), cell_width_(cell_width) {
+  TERIDS_CHECK(dims >= 1);
+  TERIDS_CHECK(cell_width > 0.0);
+}
+
+ErGrid::CellKey ErGrid::KeyOf(const std::vector<int32_t>& coords) const {
+  // Coordinates are small non-negative cell indices (coord/width in [0,
+  // ~1/width]); mix them with a 64-bit polynomial hash.
+  uint64_t h = 1469598103934665603ULL;
+  for (int32_t c : coords) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<ErGrid::CellKey> ErGrid::CellsOf(const ImputedTuple& tuple) const {
+  std::vector<CellKey> keys;
+  std::vector<int32_t> coords(dims_);
+  for (int m = 0; m < tuple.num_instances(); ++m) {
+    for (int k = 0; k < dims_; ++k) {
+      coords[k] = static_cast<int32_t>(
+          std::floor(tuple.instance_coord(m, k) / cell_width_));
+    }
+    keys.push_back(KeyOf(coords));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+void ErGrid::AddMember(Cell* cell, const WindowTuple* wt) const {
+  cell->members.push_back(wt);
+  cell->topic_mask |= wt->topic.possible_mask;
+  cell->any_topic = cell->any_topic || wt->topic.any;
+  if (cell->bounds.empty()) {
+    cell->bounds.assign(dims_, Interval::Empty());
+    cell->size_bounds.assign(dims_, Interval::Empty());
+  }
+  for (int k = 0; k < dims_; ++k) {
+    cell->bounds[k].Union(wt->tuple->pivot_dist_interval(k, 0));
+    cell->size_bounds[k].Union(wt->tuple->token_size_interval(k));
+  }
+}
+
+void ErGrid::RebuildCell(Cell* cell) const {
+  std::vector<const WindowTuple*> members = std::move(cell->members);
+  *cell = Cell();
+  for (const WindowTuple* wt : members) {
+    AddMember(cell, wt);
+  }
+}
+
+void ErGrid::Insert(const WindowTuple* wt) {
+  TERIDS_CHECK(wt != nullptr);
+  const int64_t rid = wt->rid();
+  TERIDS_CHECK(tuple_cells_.count(rid) == 0);
+  std::vector<CellKey> keys = CellsOf(*wt->tuple);
+  for (CellKey key : keys) {
+    AddMember(&cells_[key], wt);
+  }
+  tuple_cells_.emplace(rid, std::move(keys));
+}
+
+bool ErGrid::Remove(const WindowTuple* wt) {
+  TERIDS_CHECK(wt != nullptr);
+  auto it = tuple_cells_.find(wt->rid());
+  if (it == tuple_cells_.end()) {
+    return false;
+  }
+  for (CellKey key : it->second) {
+    auto cit = cells_.find(key);
+    TERIDS_CHECK(cit != cells_.end());
+    Cell& cell = cit->second;
+    cell.members.erase(
+        std::remove(cell.members.begin(), cell.members.end(), wt),
+        cell.members.end());
+    if (cell.members.empty()) {
+      cells_.erase(cit);
+    } else {
+      RebuildCell(&cell);
+    }
+  }
+  tuple_cells_.erase(it);
+  return true;
+}
+
+ErGrid::CandidateResult ErGrid::Candidates(const WindowTuple& probe,
+                                           double gamma,
+                                           bool topic_constrained) const {
+  CandidateResult result;
+  const ImputedTuple& q = *probe.tuple;
+  const double dist_budget = static_cast<double>(dims_) - gamma;
+
+  // Probe per-dimension coordinate intervals (main pivot).
+  std::vector<Interval> q_bounds(dims_);
+  for (int k = 0; k < dims_; ++k) {
+    q_bounds[k] = q.pivot_dist_interval(k, 0);
+  }
+
+  // State per encountered tuple: 0 = topic-pruned, 1 = sim-pruned,
+  // 2 = candidate. Upgrades monotonically across cells.
+  std::unordered_map<int64_t, int> state;
+
+  for (const auto& [key, cell] : cells_) {
+    (void)key;
+    ++result.cells_visited;
+
+    // Cell-level topic pruning (Theorem 4.1): if the probe can never be
+    // topical and no member of this cell can be topical, every pair with
+    // this cell is out.
+    const bool cell_topic_pass =
+        !topic_constrained || probe.topic.any || cell.any_topic;
+
+    // Cell-level distance lower bound (Lemma 4.2 with the cell's bounds).
+    double lb_dist = 0.0;
+    for (int k = 0; k < dims_ && lb_dist < dist_budget; ++k) {
+      lb_dist += q_bounds[k].MinAbsDiff(cell.bounds[k]);
+    }
+    const bool cell_sim_pass = lb_dist < dist_budget;
+
+    if (cell_topic_pass && !cell_sim_pass) {
+      ++result.cells_pruned;
+    }
+
+    for (const WindowTuple* member : cell.members) {
+      if (member->stream_id() == probe.stream_id() ||
+          member->rid() == probe.rid()) {
+        continue;
+      }
+      int verdict;
+      if (topic_constrained && !probe.topic.any && !member->topic.any) {
+        verdict = 0;  // Topic-pruned regardless of geometry.
+      } else if (!cell_sim_pass) {
+        verdict = 1;
+      } else {
+        verdict = 2;
+      }
+      auto [it, inserted] = state.emplace(member->rid(), verdict);
+      const int prev = inserted ? -1 : it->second;
+      if (verdict > it->second) {
+        it->second = verdict;
+      }
+      // Emit exactly once, on the first transition to candidate status.
+      if (verdict == 2 && prev != 2) {
+        result.candidates.push_back(member);
+      }
+    }
+  }
+
+  for (const auto& [rid, verdict] : state) {
+    (void)rid;
+    if (verdict == 0) {
+      ++result.topic_pruned;
+    } else if (verdict == 1) {
+      ++result.sim_pruned;
+    }
+  }
+  return result;
+}
+
+}  // namespace terids

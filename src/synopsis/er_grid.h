@@ -1,0 +1,80 @@
+#ifndef TERIDS_SYNOPSIS_ER_GRID_H_
+#define TERIDS_SYNOPSIS_ER_GRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/sliding_window.h"
+#include "util/interval.h"
+
+namespace terids {
+
+/// The ER-grid synopsis G_ER (Section 5.2): a d-dimensional grid over the
+/// pivot-converted space [0,1]^d holding the live window tuples of all n
+/// streams.
+///
+/// Cells materialize lazily in a hash map (a dense g^d array is infeasible
+/// for d up to 7). A tuple is inserted into every cell one of its imputed
+/// instances falls into, exactly as the paper prescribes; cells aggregate
+/// the keyword Boolean vector, per-dimension coordinate bounds, and
+/// token-size bounds of their members.
+class ErGrid {
+ public:
+  /// `dims` = number of attributes d; `cell_width` = side length of a cell
+  /// in the converted space.
+  ErGrid(int dims, double cell_width);
+
+  void Insert(const WindowTuple* wt);
+  /// Removes an expired tuple. Returns false if it was never inserted.
+  bool Remove(const WindowTuple* wt);
+
+  size_t num_tuples() const { return tuple_cells_.size(); }
+  size_t num_cells() const { return cells_.size(); }
+
+  /// Candidate retrieval for a probe tuple, with cell-level topic and
+  /// distance-bound pruning.
+  struct CandidateResult {
+    std::vector<const WindowTuple*> candidates;
+    /// Tuples (from other streams) pruned because neither they nor the
+    /// probe can contain a query keyword (Theorem 4.1 at grid level).
+    uint64_t topic_pruned = 0;
+    /// Tuples pruned by the cell-level pivot distance bound (Lemma 4.2 at
+    /// grid level).
+    uint64_t sim_pruned = 0;
+    uint64_t cells_visited = 0;
+    uint64_t cells_pruned = 0;
+  };
+
+  /// `topic_constrained` is false for an unconstrained query (K = all), in
+  /// which case topic pruning is skipped. Tuples from the probe's own
+  /// stream are ignored entirely (TER-iDS pairs span two streams).
+  CandidateResult Candidates(const WindowTuple& probe, double gamma,
+                             bool topic_constrained) const;
+
+ private:
+  struct Cell {
+    std::vector<const WindowTuple*> members;
+    uint64_t topic_mask = 0;
+    bool any_topic = false;
+    std::vector<Interval> bounds;       // per-dim cover of member intervals
+    std::vector<Interval> size_bounds;  // per-dim token-size cover
+  };
+
+  using CellKey = uint64_t;
+
+  CellKey KeyOf(const std::vector<int32_t>& coords) const;
+  std::vector<CellKey> CellsOf(const ImputedTuple& tuple) const;
+  void AddMember(Cell* cell, const WindowTuple* wt) const;
+  void RebuildCell(Cell* cell) const;
+
+  int dims_;
+  double cell_width_;
+  std::unordered_map<CellKey, Cell> cells_;
+  // rid -> the cell keys the tuple occupies (for removal).
+  std::unordered_map<int64_t, std::vector<CellKey>> tuple_cells_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_SYNOPSIS_ER_GRID_H_

@@ -1,0 +1,28 @@
+#include "text/token_dict.h"
+
+#include "util/status.h"
+
+namespace terids {
+
+Token TokenDict::Intern(std::string_view text) {
+  auto it = ids_.find(std::string(text));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  Token id = static_cast<Token>(texts_.size());
+  texts_.emplace_back(text);
+  ids_.emplace(texts_.back(), id);
+  return id;
+}
+
+Token TokenDict::Find(std::string_view text) const {
+  auto it = ids_.find(std::string(text));
+  return it == ids_.end() ? kInvalidToken : it->second;
+}
+
+const std::string& TokenDict::TextOf(Token token) const {
+  TERIDS_CHECK(token < texts_.size());
+  return texts_[token];
+}
+
+}  // namespace terids

@@ -1,0 +1,51 @@
+#ifndef TERIDS_TEXT_TOKEN_DICT_H_
+#define TERIDS_TEXT_TOKEN_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace terids {
+
+/// Interned token identifier. Token 0 is valid; kInvalidToken marks lookups
+/// that missed.
+using Token = uint32_t;
+inline constexpr Token kInvalidToken = static_cast<Token>(-1);
+
+/// String-interning dictionary mapping token text to dense uint32 ids.
+///
+/// Every attribute value in TER-iDS is a token set; interning makes the
+/// Jaccard inner loop integer-only and keeps token sets at 4 bytes/token.
+/// One TokenDict is shared by a repository, its streams, and the query
+/// keywords so that ids are comparable across all of them.
+class TokenDict {
+ public:
+  TokenDict() = default;
+
+  // The dictionary is referenced by pointer throughout the library; moving
+  // or copying it would silently invalidate interned ids' provenance.
+  TokenDict(const TokenDict&) = delete;
+  TokenDict& operator=(const TokenDict&) = delete;
+
+  /// Returns the id for `text`, interning it if unseen.
+  Token Intern(std::string_view text);
+
+  /// Returns the id for `text`, or kInvalidToken if it was never interned.
+  Token Find(std::string_view text) const;
+
+  /// Returns the text for an id. `token` must be a valid interned id.
+  const std::string& TextOf(Token token) const;
+
+  /// Number of distinct tokens interned so far.
+  size_t size() const { return texts_.size(); }
+
+ private:
+  std::unordered_map<std::string, Token> ids_;
+  std::vector<std::string> texts_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_TEXT_TOKEN_DICT_H_

@@ -1,0 +1,52 @@
+#include "text/token_set.h"
+
+#include <algorithm>
+
+namespace terids {
+
+TokenSet TokenSet::FromTokens(std::vector<Token> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  TokenSet set;
+  set.tokens_ = std::move(tokens);
+  return set;
+}
+
+bool TokenSet::Contains(Token t) const {
+  return std::binary_search(tokens_.begin(), tokens_.end(), t);
+}
+
+size_t TokenSet::IntersectionSize(const TokenSet& other) const {
+  const std::vector<Token>& a = tokens_;
+  const std::vector<Token>& b = other.tokens_;
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double JaccardSimilarity(const TokenSet& a, const TokenSet& b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  const size_t inter = a.IntersectionSize(b);
+  const size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double JaccardDistance(const TokenSet& a, const TokenSet& b) {
+  return 1.0 - JaccardSimilarity(a, b);
+}
+
+}  // namespace terids

@@ -1,0 +1,53 @@
+#ifndef TERIDS_TEXT_TOKEN_SET_H_
+#define TERIDS_TEXT_TOKEN_SET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "text/token_dict.h"
+
+namespace terids {
+
+/// A set of interned tokens stored as a sorted, deduplicated vector.
+///
+/// This is the unit the similarity function of Definition 5 operates on:
+/// sim(r[A_j], r'[A_j]) = |T ∩ T'| / |T ∪ T'| (Jaccard). Intersections are
+/// computed with a linear merge over the sorted vectors, which is the hot
+/// path of the whole system.
+class TokenSet {
+ public:
+  TokenSet() = default;
+
+  /// Builds from an arbitrary (possibly unsorted, duplicated) token list.
+  static TokenSet FromTokens(std::vector<Token> tokens);
+
+  size_t size() const { return tokens_.size(); }
+  bool empty() const { return tokens_.empty(); }
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// Membership test (binary search).
+  bool Contains(Token t) const;
+
+  /// |this ∩ other| via linear merge.
+  size_t IntersectionSize(const TokenSet& other) const;
+
+  bool operator==(const TokenSet& other) const {
+    return tokens_ == other.tokens_;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+};
+
+/// Jaccard similarity in [0,1]. Two empty sets are defined as similarity 1
+/// (identical absence of content), matching the convention the evaluation
+/// needs for short attributes such as `year`.
+double JaccardSimilarity(const TokenSet& a, const TokenSet& b);
+
+/// Jaccard distance = 1 - similarity. This is a metric (satisfies the
+/// triangle inequality), which Lemma 4.2 and the pivot embedding rely on.
+double JaccardDistance(const TokenSet& a, const TokenSet& b);
+
+}  // namespace terids
+
+#endif  // TERIDS_TEXT_TOKEN_SET_H_

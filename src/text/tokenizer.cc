@@ -1,0 +1,44 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace terids {
+
+std::vector<std::string> Tokenizer::SplitWords(std::string_view text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    words.push_back(std::move(current));
+  }
+  return words;
+}
+
+TokenSet Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<Token> tokens;
+  for (const std::string& word : SplitWords(text)) {
+    tokens.push_back(dict_->Intern(word));
+  }
+  return TokenSet::FromTokens(std::move(tokens));
+}
+
+TokenSet Tokenizer::TokenizeFrozen(std::string_view text) const {
+  std::vector<Token> tokens;
+  for (const std::string& word : SplitWords(text)) {
+    Token t = dict_->Find(word);
+    if (t != kInvalidToken) {
+      tokens.push_back(t);
+    }
+  }
+  return TokenSet::FromTokens(std::move(tokens));
+}
+
+}  // namespace terids

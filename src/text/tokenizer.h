@@ -1,0 +1,40 @@
+#ifndef TERIDS_TEXT_TOKENIZER_H_
+#define TERIDS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/token_dict.h"
+#include "text/token_set.h"
+
+namespace terids {
+
+/// Splits raw attribute text into normalized word tokens.
+///
+/// Normalization: ASCII lowercase, alphanumeric runs only (punctuation and
+/// whitespace are separators). This mirrors the standard preprocessing of
+/// the Magellan entity-matching corpora the paper evaluates on.
+class Tokenizer {
+ public:
+  /// `dict` must outlive the tokenizer; tokens are interned into it.
+  explicit Tokenizer(TokenDict* dict) : dict_(dict) {}
+
+  /// Tokenizes and interns, returning the deduplicated sorted token set.
+  TokenSet Tokenize(std::string_view text) const;
+
+  /// Tokenizes without interning new tokens: words never seen by the
+  /// dictionary are dropped. Used for read-only probes (e.g. topic keyword
+  /// lookup against a frozen dictionary).
+  TokenSet TokenizeFrozen(std::string_view text) const;
+
+  /// Splits into normalized words without interning.
+  static std::vector<std::string> SplitWords(std::string_view text);
+
+ private:
+  TokenDict* dict_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_TEXT_TOKENIZER_H_

@@ -1,0 +1,195 @@
+#include "tuple/imputed_tuple.h"
+
+#include <algorithm>
+
+namespace terids {
+
+namespace {
+// Shared empty token set for missing attributes no imputer could fill.
+const TokenSet& EmptyTokenSet() {
+  static const TokenSet* kEmpty = new TokenSet();
+  return *kEmpty;
+}
+}  // namespace
+
+ImputedTuple ImputedTuple::FromComplete(Record record, const Repository* repo) {
+  return FromImputation(std::move(record), repo, {}, 1);
+}
+
+ImputedTuple ImputedTuple::FromImputation(Record record, const Repository* repo,
+                                          std::vector<ImputedAttr> imputed,
+                                          int max_instances) {
+  TERIDS_CHECK(repo != nullptr);
+  TERIDS_CHECK(max_instances >= 1);
+  ImputedTuple tuple;
+  tuple.base_ = std::move(record);
+  tuple.repo_ = repo;
+  tuple.imputed_ = std::move(imputed);
+  tuple.attr_to_imputed_.assign(tuple.base_.num_attributes(), -1);
+  for (size_t k = 0; k < tuple.imputed_.size(); ++k) {
+    const ImputedAttr& ia = tuple.imputed_[k];
+    TERIDS_CHECK(ia.attr >= 0 && ia.attr < tuple.base_.num_attributes());
+    TERIDS_CHECK(tuple.base_.values[ia.attr].missing);
+    TERIDS_CHECK(!ia.candidates.empty());
+    tuple.attr_to_imputed_[ia.attr] = static_cast<int>(k);
+  }
+  tuple.MaterializeInstances(max_instances);
+  tuple.ComputeAggregates();
+  return tuple;
+}
+
+void ImputedTuple::MaterializeInstances(int max_instances) {
+  // Sort each attribute's candidates by descending probability so the
+  // truncated cross product keeps the most likely combinations.
+  for (ImputedAttr& ia : imputed_) {
+    std::sort(ia.candidates.begin(), ia.candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.prob > b.prob;
+              });
+  }
+
+  instances_.clear();
+  Instance seed;
+  seed.choices.assign(imputed_.size(), kInvalidValueId);
+  seed.prob = 1.0;
+  instances_.push_back(std::move(seed));
+
+  // Expand the cross product one imputed attribute at a time, truncating to
+  // the top `max_instances` partial combinations after each expansion. This
+  // keeps the expansion cost bounded by O(#attrs * max_instances * #cands).
+  for (size_t k = 0; k < imputed_.size(); ++k) {
+    std::vector<Instance> next;
+    next.reserve(instances_.size() * imputed_[k].candidates.size());
+    for (const Instance& partial : instances_) {
+      for (const Candidate& cand : imputed_[k].candidates) {
+        Instance inst = partial;
+        inst.choices[k] = cand.vid;
+        inst.prob = partial.prob * cand.prob;
+        next.push_back(std::move(inst));
+      }
+    }
+    if (static_cast<int>(next.size()) > max_instances) {
+      std::partial_sort(next.begin(), next.begin() + max_instances, next.end(),
+                        [](const Instance& a, const Instance& b) {
+                          return a.prob > b.prob;
+                        });
+      next.resize(max_instances);
+    }
+    instances_ = std::move(next);
+  }
+
+  total_prob_ = 0.0;
+  for (const Instance& inst : instances_) {
+    total_prob_ += inst.prob;
+  }
+  // Complete tuples carry one instance with probability exactly 1.
+  if (imputed_.empty()) {
+    TERIDS_CHECK(instances_.size() == 1);
+    instances_[0].prob = 1.0;
+    total_prob_ = 1.0;
+  }
+}
+
+const TokenSet& ImputedTuple::instance_tokens(int inst, int attr) const {
+  TERIDS_CHECK(inst >= 0 && inst < num_instances());
+  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
+  const int k = attr_to_imputed_[attr];
+  if (k < 0) {
+    const AttrValue& v = base_.values[attr];
+    return v.missing ? EmptyTokenSet() : v.tokens;
+  }
+  const ValueId vid = instances_[inst].choices[k];
+  return repo_->domain(attr).tokens(vid);
+}
+
+double ImputedTuple::instance_pivot_dist(int inst, int attr,
+                                         int pivot_idx) const {
+  TERIDS_CHECK(inst >= 0 && inst < num_instances());
+  const int k = attr_to_imputed_[attr];
+  if (k < 0) {
+    return base_dists_[attr][pivot_idx];
+  }
+  return repo_->pivot_distance(attr, pivot_idx, instances_[inst].choices[k]);
+}
+
+void ImputedTuple::ComputeAggregates() {
+  const int d = num_attributes();
+  TERIDS_CHECK(repo_->has_pivots());
+
+  // Cache distances from the non-missing base attributes to every pivot.
+  base_dists_.assign(d, {});
+  for (int x = 0; x < d; ++x) {
+    const int np = repo_->num_pivots(x);
+    base_dists_[x].assign(np, 1.0);
+    const AttrValue& v = base_.values[x];
+    if (!v.missing) {
+      for (int a = 0; a < np; ++a) {
+        base_dists_[x][a] = JaccardDistance(v.tokens, repo_->pivot_tokens(x, a));
+      }
+    } else if (attr_to_imputed_[x] < 0) {
+      // Unfilled missing attribute: the instance token set is empty; its
+      // distance to any non-empty pivot is 1 (and 0 to an empty pivot).
+      for (int a = 0; a < np; ++a) {
+        base_dists_[x][a] =
+            JaccardDistance(EmptyTokenSet(), repo_->pivot_tokens(x, a));
+      }
+    }
+  }
+
+  size_intervals_.assign(d, Interval::Empty());
+  dist_intervals_.assign(d, {});
+  expected_dists_.assign(d, {});
+  const double norm = total_prob_ > 0 ? total_prob_ : 1.0;
+
+  for (int x = 0; x < d; ++x) {
+    const int np = repo_->num_pivots(x);
+    dist_intervals_[x].assign(np, Interval::Empty());
+    expected_dists_[x].assign(np, 0.0);
+
+    const int k = attr_to_imputed_[x];
+    if (k < 0) {
+      // Single fixed value across all instances.
+      const AttrValue& v = base_.values[x];
+      const double size = v.missing ? 0.0 : static_cast<double>(v.tokens.size());
+      size_intervals_[x].Cover(size);
+      for (int a = 0; a < np; ++a) {
+        dist_intervals_[x][a].Cover(base_dists_[x][a]);
+        expected_dists_[x][a] = base_dists_[x][a];
+      }
+      continue;
+    }
+    for (const Instance& inst : instances_) {
+      const ValueId vid = inst.choices[k];
+      size_intervals_[x].Cover(
+          static_cast<double>(repo_->domain(x).tokens(vid).size()));
+      const double weight = inst.prob / norm;
+      for (int a = 0; a < np; ++a) {
+        const double dist = repo_->pivot_distance(x, a, vid);
+        dist_intervals_[x][a].Cover(dist);
+        expected_dists_[x][a] += weight * dist;
+      }
+    }
+  }
+}
+
+const Interval& ImputedTuple::token_size_interval(int attr) const {
+  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
+  return size_intervals_[attr];
+}
+
+const Interval& ImputedTuple::pivot_dist_interval(int attr,
+                                                  int pivot_idx) const {
+  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
+  TERIDS_CHECK(pivot_idx >= 0 &&
+               pivot_idx < static_cast<int>(dist_intervals_[attr].size()));
+  return dist_intervals_[attr][pivot_idx];
+}
+
+double ImputedTuple::expected_pivot_dist(int attr, int pivot_idx) const {
+  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
+  TERIDS_CHECK(pivot_idx >= 0 &&
+               pivot_idx < static_cast<int>(expected_dists_[attr].size()));
+  return expected_dists_[attr][pivot_idx];
+}
+
+}  // namespace terids

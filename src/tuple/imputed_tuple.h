@@ -1,0 +1,125 @@
+#ifndef TERIDS_TUPLE_IMPUTED_TUPLE_H_
+#define TERIDS_TUPLE_IMPUTED_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "repo/repository.h"
+#include "text/token_set.h"
+#include "tuple/record.h"
+#include "util/interval.h"
+
+namespace terids {
+
+/// The imputed (probabilistic) tuple r^p of an incomplete tuple r
+/// (Definition 4): a set of mutually exclusive instances r_{i,m}, each with
+/// an existence probability, such that sum of probabilities <= 1.
+///
+/// Instances are the cross product of the per-missing-attribute candidate
+/// distributions produced by an imputer (Section 3). The cross product is
+/// capped at `max_instances` highest-probability combinations; the retained
+/// probabilities are kept unnormalized, which Definition 4 explicitly
+/// permits (sum p <= 1).
+///
+/// After construction the tuple carries the per-attribute aggregates the
+/// ER-grid and the pruning lemmas need: token-set size intervals (Lemma
+/// 4.1), pivot-distance intervals and expectations (Lemmas 4.2, 4.3).
+class ImputedTuple {
+ public:
+  /// One candidate value for a missing attribute with its confidence
+  /// (Equations 3 and 4).
+  struct Candidate {
+    ValueId vid = kInvalidValueId;
+    double prob = 0.0;
+  };
+
+  /// Candidate distribution for one missing attribute.
+  struct ImputedAttr {
+    int attr = -1;
+    std::vector<Candidate> candidates;
+  };
+
+  /// One materialized instance: `choices[k]` is the ValueId picked for the
+  /// k-th imputed attribute (ordered as in imputed_attrs()).
+  struct Instance {
+    std::vector<ValueId> choices;
+    double prob = 1.0;
+  };
+
+  /// Wraps a complete record as a single-instance tuple with probability 1.
+  static ImputedTuple FromComplete(Record record, const Repository* repo);
+
+  /// Builds from an incomplete record plus one candidate distribution per
+  /// missing attribute. Attributes of `record` that are missing but have no
+  /// distribution in `imputed` stay empty in every instance (imputation
+  /// found no candidates), contributing an empty token set.
+  static ImputedTuple FromImputation(Record record, const Repository* repo,
+                                     std::vector<ImputedAttr> imputed,
+                                     int max_instances);
+
+  const Record& base() const { return base_; }
+  int64_t rid() const { return base_.rid; }
+  int stream_id() const { return base_.stream_id; }
+  int64_t timestamp() const { return base_.timestamp; }
+  int num_attributes() const { return base_.num_attributes(); }
+
+  bool IsAttrImputed(int attr) const { return attr_to_imputed_[attr] >= 0; }
+  const std::vector<ImputedAttr>& imputed_attrs() const { return imputed_; }
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  const Instance& instance(int i) const { return instances_[i]; }
+  double instance_prob(int i) const { return instances_[i].prob; }
+  /// Sum of instance probabilities (<= 1).
+  double total_prob() const { return total_prob_; }
+
+  /// Token set of instance `inst` on `attr`, resolving imputed choices
+  /// against the repository domain. Never-imputed missing attributes
+  /// resolve to the empty token set.
+  const TokenSet& instance_tokens(int inst, int attr) const;
+
+  // ---- Aggregates (valid once pivots are attached to the repository) ----
+
+  /// [min,max] token-set size across instances on `attr` (|T^-|, |T^+|).
+  const Interval& token_size_interval(int attr) const;
+
+  /// [lb,ub] of dist(instance[attr], piv_a[attr]) across instances.
+  const Interval& pivot_dist_interval(int attr, int pivot_idx) const;
+
+  /// Number of pivots this tuple has distance aggregates for on `attr`
+  /// (the repository's per-attribute pivot count).
+  int num_pivot_intervals(int attr) const {
+    return static_cast<int>(dist_intervals_[attr].size());
+  }
+
+  /// E(X_k) w.r.t. pivot `pivot_idx`, expectation over the *normalized*
+  /// instance distribution (required for the Paley-Zygmund bound to stay an
+  /// upper bound when the instance set is truncated).
+  double expected_pivot_dist(int attr, int pivot_idx) const;
+
+  /// Main-pivot coordinate of one instance on one attribute.
+  double instance_coord(int inst, int attr) const {
+    return instance_pivot_dist(inst, attr, 0);
+  }
+  double instance_pivot_dist(int inst, int attr, int pivot_idx) const;
+
+ private:
+  ImputedTuple() = default;
+  void MaterializeInstances(int max_instances);
+  void ComputeAggregates();
+
+  Record base_;
+  const Repository* repo_ = nullptr;
+  std::vector<ImputedAttr> imputed_;
+  std::vector<int> attr_to_imputed_;  // attr -> index into imputed_, or -1.
+  std::vector<Instance> instances_;
+  double total_prob_ = 0.0;
+
+  std::vector<Interval> size_intervals_;                // [attr]
+  std::vector<std::vector<Interval>> dist_intervals_;   // [attr][pivot]
+  std::vector<std::vector<double>> expected_dists_;     // [attr][pivot]
+  std::vector<std::vector<double>> base_dists_;         // [attr][pivot]
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_TUPLE_IMPUTED_TUPLE_H_

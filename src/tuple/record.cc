@@ -1,0 +1,47 @@
+#include "tuple/record.h"
+
+#include "util/status.h"
+
+namespace terids {
+
+bool Record::IsComplete() const {
+  for (const AttrValue& v : values) {
+    if (v.missing) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint32_t Record::MissingMask() const {
+  TERIDS_CHECK(values.size() <= 32);
+  uint32_t mask = 0;
+  for (size_t j = 0; j < values.size(); ++j) {
+    if (values[j].missing) {
+      mask |= (1u << j);
+    }
+  }
+  return mask;
+}
+
+std::vector<int> Record::MissingAttributes() const {
+  std::vector<int> out;
+  for (size_t j = 0; j < values.size(); ++j) {
+    if (values[j].missing) {
+      out.push_back(static_cast<int>(j));
+    }
+  }
+  return out;
+}
+
+size_t Record::TotalTokenCount() const {
+  size_t total = 0;
+  for (const AttrValue& v : values) {
+    if (!v.missing) {
+      total += v.tokens.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace terids

@@ -1,0 +1,65 @@
+#ifndef TERIDS_TUPLE_RECORD_H_
+#define TERIDS_TUPLE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/token_set.h"
+#include "tuple/schema.h"
+
+namespace terids {
+
+/// One attribute value of a record: the raw text, its token set, and a
+/// missing flag. A missing value (the paper's "−") carries an empty token
+/// set and missing = true.
+struct AttrValue {
+  std::string text;
+  TokenSet tokens;
+  bool missing = false;
+
+  static AttrValue Missing() {
+    AttrValue v;
+    v.missing = true;
+    return v;
+  }
+};
+
+/// A (possibly incomplete) stream tuple r_i (Definition 1): a unique record
+/// id, the stream it arrived on, its arrival timestamp, and `d` attribute
+/// values some of which may be missing.
+struct Record {
+  int64_t rid = -1;
+  int stream_id = 0;
+  int64_t timestamp = 0;
+  std::vector<AttrValue> values;
+
+  int num_attributes() const { return static_cast<int>(values.size()); }
+
+  bool IsComplete() const;
+
+  /// Bitmask with bit j set iff attribute j is missing. Schemas never exceed
+  /// 32 attributes in this library (the paper's datasets have 4-7).
+  uint32_t MissingMask() const;
+
+  /// Indices of missing attributes, in order.
+  std::vector<int> MissingAttributes() const;
+
+  /// Total tokens across all non-missing attributes; convenience for the
+  /// topic predicate and diagnostics.
+  size_t TotalTokenCount() const;
+};
+
+/// A ground-truth matching pair for evaluation: records `rid_a` (from source
+/// stream A) and `rid_b` (from stream B) refer to the same real-world entity.
+struct GroundTruthPair {
+  int64_t rid_a = -1;
+  int64_t rid_b = -1;
+  bool operator==(const GroundTruthPair& o) const {
+    return rid_a == o.rid_a && rid_b == o.rid_b;
+  }
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_TUPLE_RECORD_H_

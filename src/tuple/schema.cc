@@ -1,0 +1,26 @@
+#include "tuple/schema.h"
+
+#include "util/status.h"
+
+namespace terids {
+
+Schema::Schema(std::vector<std::string> attribute_names)
+    : names_(std::move(attribute_names)) {
+  TERIDS_CHECK(!names_.empty());
+}
+
+const std::string& Schema::name(int attr) const {
+  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
+  return names_[attr];
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (names_[i] == name) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace terids

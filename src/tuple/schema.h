@@ -1,0 +1,36 @@
+#ifndef TERIDS_TUPLE_SCHEMA_H_
+#define TERIDS_TUPLE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace terids {
+
+/// Relation schema: an ordered list of `d` textual attribute names.
+///
+/// TER-iDS assumes homogeneous schemas across the `n` streams and the data
+/// repository R (Section 2.3), so one Schema instance is shared by all of
+/// them within a run.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attribute_names);
+
+  /// Number of attributes, the paper's `d`.
+  int num_attributes() const { return static_cast<int>(names_.size()); }
+
+  const std::string& name(int attr) const;
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of an attribute name, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_TUPLE_SCHEMA_H_

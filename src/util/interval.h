@@ -1,0 +1,57 @@
+#ifndef TERIDS_UTIL_INTERVAL_H_
+#define TERIDS_UTIL_INTERVAL_H_
+
+#include <algorithm>
+#include <limits>
+
+namespace terids {
+
+/// Closed real interval [lo, hi]. Used for CDD distance constraints, aR-tree
+/// bounding ranges, token-set size intervals, and pivot-distance bounds.
+struct Interval {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  /// The canonical default is *empty* (lo > hi); Cover()/Union() grow it.
+  static Interval Empty() { return Interval(); }
+  static Interval Point(double v) { return {v, v}; }
+  static Interval Of(double lo, double hi) { return {lo, hi}; }
+
+  bool empty() const { return lo > hi; }
+  double width() const { return empty() ? 0.0 : hi - lo; }
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+
+  bool Overlaps(const Interval& other) const {
+    return !empty() && !other.empty() && lo <= other.hi && other.lo <= hi;
+  }
+
+  /// Grows to include v.
+  void Cover(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  /// Grows to include another interval.
+  void Union(const Interval& other) {
+    if (other.empty()) return;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+  }
+
+  /// Minimum |x - y| over x in this, y in other; 0 if they overlap.
+  /// This is exactly the min_dist of Lemma 4.2.
+  double MinAbsDiff(const Interval& other) const {
+    if (lo > other.hi) return lo - other.hi;
+    if (other.lo > hi) return other.lo - hi;
+    return 0.0;
+  }
+
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_UTIL_INTERVAL_H_

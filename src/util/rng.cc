@@ -1,0 +1,88 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace terids {
+
+namespace {
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&s);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  TERIDS_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  TERIDS_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  TERIDS_CHECK(n > 0);
+  // Inverse-CDF approximation of a Zipf(s) law over ranks 1..n: draw u in
+  // (0,1] and invert the continuous approximation of the normalized
+  // generalized-harmonic CDF. Accurate enough for workload skew.
+  double u = 1.0 - NextDouble();  // (0, 1]
+  if (s == 1.0) {
+    s = 1.0000001;  // Avoid the removable singularity in the formula below.
+  }
+  const double nd = static_cast<double>(n);
+  const double h = (std::pow(nd, 1.0 - s) - 1.0) / (1.0 - s) + 1.0;
+  const double x = u * h;
+  double rank;
+  if (x <= 1.0) {
+    rank = 1.0;
+  } else {
+    rank = std::pow((x - 1.0) * (1.0 - s) + 1.0, 1.0 / (1.0 - s));
+  }
+  uint64_t r = static_cast<uint64_t>(rank);
+  if (r < 1) r = 1;
+  if (r > n) r = n;
+  return r - 1;  // 0-based rank.
+}
+
+}  // namespace terids

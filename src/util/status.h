@@ -1,0 +1,114 @@
+#ifndef TERIDS_UTIL_STATUS_H_
+#define TERIDS_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace terids {
+
+/// Error codes used across the TER-iDS library. The library does not throw
+/// exceptions across public API boundaries; fallible operations return a
+/// Status (or a Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A lightweight success-or-error value. Modeled after absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "INVALID_ARGUMENT: w must be positive".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder. On error the value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>, mirroring absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {
+    // A Result built from a Status must carry an error; an OK status with
+    // no value would be unobservable through value().
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const { return *value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// CHECK-style invariant assertion, enabled in all build types. Database
+/// index invariants are cheap to verify relative to the work they guard.
+#define TERIDS_CHECK(expr)                                        \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::terids::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                             \
+  } while (0)
+
+#define TERIDS_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::terids::Status _terids_status = (expr); \
+    if (!_terids_status.ok()) {               \
+      return _terids_status;                  \
+    }                                         \
+  } while (0)
+
+}  // namespace terids
+
+#endif  // TERIDS_UTIL_STATUS_H_

@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Stopwatch and ScopedTimer are header-only; this translation unit exists so
+// the build system has a stable object for the util target.

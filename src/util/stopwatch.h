@@ -1,0 +1,49 @@
+#ifndef TERIDS_UTIL_STOPWATCH_H_
+#define TERIDS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace terids {
+
+/// Monotonic wall-clock stopwatch used by the evaluation harness to record
+/// per-arrival processing costs (the paper's "wall clock time" metric).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time into a double on destruction; used for break-up cost
+/// accounting (Figure 6) where one arrival's cost is split across the CDD
+/// selection, imputation, and ER stages.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      *sink_ += watch_.ElapsedSeconds();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  Stopwatch watch_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_UTIL_STOPWATCH_H_

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/artree.h"
+#include "util/rng.h"
+
+namespace terids {
+namespace {
+
+ArTreeEntry RandomEntry(Rng* rng, int dims, int64_t payload) {
+  ArTreeEntry e;
+  e.payload = payload;
+  e.box.resize(dims);
+  for (int d = 0; d < dims; ++d) {
+    const double lo = rng->NextDouble();
+    const double width = rng->NextDouble() * 0.2;
+    e.box[d] = Interval::Of(lo, std::min(1.0, lo + width));
+  }
+  e.agg.dep_interval = Interval::Of(rng->NextDouble() * 0.5,
+                                    0.5 + rng->NextDouble() * 0.5);
+  e.agg.topic_mask = rng->NextU64() & 0xF;
+  return e;
+}
+
+std::vector<Interval> RandomQueryBox(Rng* rng, int dims) {
+  std::vector<Interval> box(dims);
+  for (int d = 0; d < dims; ++d) {
+    const double lo = rng->NextDouble();
+    box[d] = Interval::Of(lo, std::min(1.0, lo + rng->NextDouble() * 0.4));
+  }
+  return box;
+}
+
+std::vector<int64_t> TreeRangeQuery(const ArTree& tree,
+                                    const std::vector<Interval>& query) {
+  std::vector<int64_t> got;
+  tree.Query(
+      [&query](const ArTree::NodeView& node) {
+        for (size_t d = 0; d < query.size(); ++d) {
+          if (!node.box[d].Overlaps(query[d])) {
+            return false;
+          }
+        }
+        return true;
+      },
+      [&got, &query](const ArTreeEntry& entry) {
+        for (size_t d = 0; d < query.size(); ++d) {
+          if (!entry.box[d].Overlaps(query[d])) {
+            return;
+          }
+        }
+        got.push_back(entry.payload);
+      });
+  std::sort(got.begin(), got.end());
+  return got;
+}
+
+class ArTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArTreePropertyTest, BulkLoadedRangeQueryMatchesBruteForce) {
+  Rng rng(GetParam());
+  const int dims = 1 + static_cast<int>(rng.NextBounded(5));
+  const int n = 20 + static_cast<int>(rng.NextBounded(300));
+  std::vector<ArTreeEntry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back(RandomEntry(&rng, dims, i));
+  }
+  ArTree tree(dims, 8);
+  tree.BulkLoad(entries);
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+
+  for (int q = 0; q < 20; ++q) {
+    const std::vector<Interval> query = RandomQueryBox(&rng, dims);
+    std::vector<int64_t> want;
+    for (const ArTreeEntry& e : entries) {
+      bool hit = true;
+      for (int d = 0; d < dims; ++d) {
+        hit = hit && e.box[d].Overlaps(query[d]);
+      }
+      if (hit) want.push_back(e.payload);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(TreeRangeQuery(tree, query), want);
+  }
+}
+
+TEST_P(ArTreePropertyTest, IncrementalInsertMatchesBruteForce) {
+  Rng rng(GetParam() * 101 + 7);
+  const int dims = 2;
+  ArTree tree(dims, 4);
+  std::vector<ArTreeEntry> entries;
+  for (int i = 0; i < 150; ++i) {
+    ArTreeEntry e = RandomEntry(&rng, dims, i);
+    entries.push_back(e);
+    tree.Insert(e);
+  }
+  for (int q = 0; q < 15; ++q) {
+    const std::vector<Interval> query = RandomQueryBox(&rng, dims);
+    std::vector<int64_t> want;
+    for (const ArTreeEntry& e : entries) {
+      if (e.box[0].Overlaps(query[0]) && e.box[1].Overlaps(query[1])) {
+        want.push_back(e.payload);
+      }
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(TreeRangeQuery(tree, query), want);
+  }
+}
+
+TEST_P(ArTreePropertyTest, RemoveHidesEntries) {
+  Rng rng(GetParam() * 13 + 5);
+  const int dims = 3;
+  std::vector<ArTreeEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    entries.push_back(RandomEntry(&rng, dims, i));
+  }
+  ArTree tree(dims, 8);
+  tree.BulkLoad(entries);
+  // Remove every third entry.
+  std::vector<bool> removed(entries.size(), false);
+  for (size_t i = 0; i < entries.size(); i += 3) {
+    EXPECT_TRUE(tree.Remove(static_cast<int64_t>(i)));
+    removed[i] = true;
+  }
+  EXPECT_FALSE(tree.Remove(0));  // Already gone.
+  const std::vector<Interval> everything(dims, Interval::Of(0.0, 1.0));
+  std::vector<int64_t> got = TreeRangeQuery(tree, everything);
+  std::vector<int64_t> want;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (!removed[i]) want.push_back(static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(got, want);
+}
+
+/// Aggregate soundness: every node's aggregates must cover the aggregates
+/// of all live entries below it (otherwise aggregate-based pruning would be
+/// unsound).
+TEST_P(ArTreePropertyTest, NodeAggregatesCoverEntries) {
+  Rng rng(GetParam() * 7 + 3);
+  const int dims = 2;
+  std::vector<ArTreeEntry> entries;
+  for (int i = 0; i < 120; ++i) {
+    entries.push_back(RandomEntry(&rng, dims, i));
+  }
+  ArTree tree(dims, 8);
+  tree.BulkLoad(entries);
+  for (int i = 0; i < 40; ++i) {
+    tree.Insert(RandomEntry(&rng, dims, 1000 + i));
+  }
+
+  // Visit with an always-true predicate and check, per leaf, that the
+  // node's aggregate covers each emitted entry (the visitor sees entries
+  // only under nodes whose view we just inspected).
+  std::vector<const ArTreeEntry*> seen;
+  Interval root_dep = Interval::Empty();
+  uint64_t root_mask = 0;
+  tree.Query(
+      [&](const ArTree::NodeView& node) {
+        if (node.is_leaf) {
+          root_dep.Union(node.agg.dep_interval);
+          root_mask |= node.agg.topic_mask;
+        }
+        return true;
+      },
+      [&](const ArTreeEntry& entry) { seen.push_back(&entry); });
+  for (const ArTreeEntry* e : seen) {
+    EXPECT_LE(root_dep.lo, e->agg.dep_interval.lo);
+    EXPECT_GE(root_dep.hi, e->agg.dep_interval.hi);
+    EXPECT_EQ(e->agg.topic_mask & ~root_mask, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(ArTreeTest, EmptyTreeQueriesCleanly) {
+  ArTree tree(3);
+  int visits = 0;
+  tree.Query([](const ArTree::NodeView&) { return true; },
+             [&visits](const ArTreeEntry&) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(NodeAggregatesTest, MergeUnionsEverything) {
+  NodeAggregates a;
+  a.topic_mask = 0b01;
+  a.dep_interval = Interval::Of(0.1, 0.2);
+  a.aux_dist = {{Interval::Of(0.0, 0.1)}};
+  a.size_intervals = {Interval::Of(2, 4)};
+
+  NodeAggregates b;
+  b.topic_mask = 0b10;
+  b.dep_interval = Interval::Of(0.3, 0.5);
+  b.aux_dist = {{Interval::Of(0.4, 0.6), Interval::Of(0.2, 0.3)}};
+  b.size_intervals = {Interval::Of(1, 9)};
+
+  a.Merge(b);
+  EXPECT_EQ(a.topic_mask, 0b11u);
+  EXPECT_EQ(a.dep_interval, Interval::Of(0.1, 0.5));
+  ASSERT_EQ(a.aux_dist[0].size(), 2u);
+  EXPECT_EQ(a.aux_dist[0][0], Interval::Of(0.0, 0.6));
+  EXPECT_EQ(a.aux_dist[0][1], Interval::Of(0.2, 0.3));
+  EXPECT_EQ(a.size_intervals[0], Interval::Of(1, 9));
+}
+
+}  // namespace
+}  // namespace terids

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/profiles.h"
+
+namespace terids {
+namespace {
+
+TEST(ProfilesTest, AllFiveDatasetsExist) {
+  std::vector<DatasetProfile> all = AllProfiles();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].name, "Citations");
+  EXPECT_EQ(all[4].name, "Songs");
+  for (const DatasetProfile& p : all) {
+    const size_t d = p.attributes.size();
+    EXPECT_EQ(p.min_tokens.size(), d);
+    EXPECT_EQ(p.max_tokens.size(), d);
+    EXPECT_EQ(p.vocab_size.size(), d);
+    EXPECT_EQ(p.topic_core_fraction.size(), d);
+    for (size_t x = 0; x < d; ++x) {
+      EXPECT_LE(p.min_tokens[x], p.max_tokens[x]);
+      EXPECT_GT(p.vocab_size[x], 0);
+      EXPECT_GE(p.topic_core_fraction[x], 0.0);
+      EXPECT_LE(p.topic_core_fraction[x], 1.0);
+    }
+  }
+}
+
+TEST(ProfilesTest, PaperSizesPreserved) {
+  // Table 4 of the paper.
+  EXPECT_EQ(CitationsProfile().size_a, 2614);
+  EXPECT_EQ(CitationsProfile().size_b, 2294);
+  EXPECT_EQ(EBooksProfile().size_b, 14112);
+  EXPECT_EQ(SongsProfile().size_a, 1000000);
+}
+
+TEST(ProfilesTest, LookupByName) {
+  EXPECT_EQ(ProfileByName("Bikes").name, "Bikes");
+  EXPECT_EQ(ProfileByName("Anime").size_a, 4000);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() {
+    DataGenerator::Options opts;
+    opts.scale = 0.05;
+    opts.repo_ratio = 0.3;
+    opts.seed = 7;
+    ds_ = DataGenerator::Generate(CitationsProfile(), opts);
+  }
+  GeneratedDataset ds_;
+};
+
+TEST_F(GeneratorTest, SizesScale) {
+  EXPECT_EQ(ds_.source_a.size(), 131u);  // round(2614 * 0.05)
+  EXPECT_EQ(ds_.source_b.size(), 115u);  // round(2294 * 0.05)
+  EXPECT_EQ(ds_.repo_records.size(), 74u);  // round(0.3 * 246)
+}
+
+TEST_F(GeneratorTest, AllGeneratedRecordsAreComplete) {
+  for (const Record& r : ds_.source_a) EXPECT_TRUE(r.IsComplete());
+  for (const Record& r : ds_.source_b) EXPECT_TRUE(r.IsComplete());
+  for (const Record& r : ds_.repo_records) EXPECT_TRUE(r.IsComplete());
+}
+
+TEST_F(GeneratorTest, RidsArePartitionedBySource) {
+  for (const Record& r : ds_.source_a) {
+    EXPECT_GE(r.rid, 0);
+    EXPECT_LT(r.rid, static_cast<int64_t>(ds_.source_a.size()));
+  }
+  for (const Record& r : ds_.source_b) {
+    EXPECT_GE(r.rid, static_cast<int64_t>(ds_.source_a.size()));
+  }
+}
+
+TEST_F(GeneratorTest, GroundTruthReferencesValidRids) {
+  EXPECT_FALSE(ds_.ground_truth.empty());
+  const int64_t a_max = static_cast<int64_t>(ds_.source_a.size());
+  for (const GroundTruthPair& gt : ds_.ground_truth) {
+    EXPECT_GE(gt.rid_a, 0);
+    EXPECT_LT(gt.rid_a, a_max);
+    EXPECT_GE(gt.rid_b, a_max);
+  }
+}
+
+TEST_F(GeneratorTest, TopicKeywordsAreInTheDictionary) {
+  ASSERT_EQ(static_cast<int>(ds_.topic_keywords.size()),
+            CitationsProfile().num_topics);
+  for (const std::string& kw : ds_.topic_keywords) {
+    EXPECT_NE(ds_.dict->Find(kw), kInvalidToken);
+  }
+}
+
+TEST_F(GeneratorTest, DeterministicForSameSeed) {
+  DataGenerator::Options opts;
+  opts.scale = 0.05;
+  opts.repo_ratio = 0.3;
+  opts.seed = 7;
+  GeneratedDataset again = DataGenerator::Generate(CitationsProfile(), opts);
+  ASSERT_EQ(again.source_a.size(), ds_.source_a.size());
+  for (size_t i = 0; i < again.source_a.size(); ++i) {
+    EXPECT_EQ(again.source_a[i].rid, ds_.source_a[i].rid);
+    for (int x = 0; x < again.source_a[i].num_attributes(); ++x) {
+      EXPECT_EQ(again.source_a[i].values[x].text,
+                ds_.source_a[i].values[x].text);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, WithMissingApproximatesRate) {
+  std::vector<Record> injected =
+      DataGenerator::WithMissing(ds_.source_a, 0.4, 1, 11);
+  ASSERT_EQ(injected.size(), ds_.source_a.size());
+  int incomplete = 0;
+  for (const Record& r : injected) {
+    if (!r.IsComplete()) {
+      ++incomplete;
+      EXPECT_EQ(r.MissingAttributes().size(), 1u);
+    }
+  }
+  const double rate = static_cast<double>(incomplete) / injected.size();
+  EXPECT_NEAR(rate, 0.4, 0.12);
+}
+
+TEST_F(GeneratorTest, WithMissingNeverBlanksAllAttributes) {
+  std::vector<Record> injected =
+      DataGenerator::WithMissing(ds_.source_a, 1.0, 99, 13);
+  for (const Record& r : injected) {
+    EXPECT_FALSE(r.IsComplete());
+    EXPECT_LT(r.MissingAttributes().size(),
+              static_cast<size_t>(r.num_attributes()));
+  }
+}
+
+TEST_F(GeneratorTest, ZeroMissingRateIsNoOp) {
+  std::vector<Record> injected =
+      DataGenerator::WithMissing(ds_.source_a, 0.0, 2, 13);
+  for (const Record& r : injected) {
+    EXPECT_TRUE(r.IsComplete());
+  }
+}
+
+TEST(GeneratorTopicTest, MatchedPairsShareTopicKeyword) {
+  DataGenerator::Options opts;
+  opts.scale = 0.05;
+  opts.seed = 3;
+  GeneratedDataset ds = DataGenerator::Generate(AnimeProfile(), opts);
+  std::unordered_map<int64_t, const Record*> by_rid;
+  for (const Record& r : ds.source_a) by_rid[r.rid] = &r;
+  for (const Record& r : ds.source_b) by_rid[r.rid] = &r;
+  int checked = 0;
+  for (const GroundTruthPair& gt : ds.ground_truth) {
+    const Record& a = *by_rid.at(gt.rid_a);
+    const Record& b = *by_rid.at(gt.rid_b);
+    // Both carry the (unperturbed) topic marker as their first attr token.
+    bool share = false;
+    for (const std::string& kw : ds.topic_keywords) {
+      const Token t = ds.dict->Find(kw);
+      if (t != kInvalidToken && a.values[0].tokens.Contains(t) &&
+          b.values[0].tokens.Contains(t)) {
+        share = true;
+      }
+    }
+    EXPECT_TRUE(share);
+    if (++checked > 50) break;
+  }
+}
+
+}  // namespace
+}  // namespace terids

@@ -1,0 +1,73 @@
+// Parameterized end-to-end soundness sweep: across combinations of
+// (alpha, rho, xi), the fully indexed + pruned TER-iDS engine must report
+// exactly the same pair set as the unindexed, unpruned CDD+ER baseline.
+// This is the strongest property the system has — every index, synopsis,
+// bound, and pruning theorem changes cost, never results — checked over a
+// grid of query parameters rather than a single configuration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/pipeline.h"
+#include "datagen/generator.h"
+#include "datagen/profiles.h"
+#include "eval/experiment.h"
+#include "stream/stream_driver.h"
+
+namespace terids {
+namespace {
+
+using Combo = std::tuple<double, double, double>;  // alpha, rho, xi
+
+class EquivalenceSweepTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(EquivalenceSweepTest, TerIdsEqualsUnprunedBaseline) {
+  const auto [alpha, rho, xi] = GetParam();
+  ExperimentParams params;
+  params.scale = 0.04;
+  params.w = 50;
+  params.max_arrivals = 220;
+  params.alpha = alpha;
+  params.rho = rho;
+  params.xi = xi;
+  Experiment experiment(CitationsProfile(), params);
+
+  auto collect = [&](PipelineKind kind) {
+    std::unique_ptr<Repository> repo = experiment.BuildRepository();
+    std::unique_ptr<ErPipeline> pipeline = MakePipeline(
+        kind, repo.get(), experiment.MakeConfig(), 2, experiment.cdds(),
+        experiment.dds(), experiment.editing_rules());
+    std::vector<Record> inc_a = DataGenerator::WithMissing(
+        experiment.dataset().source_a, xi, params.m, params.seed);
+    std::vector<Record> inc_b = DataGenerator::WithMissing(
+        experiment.dataset().source_b, xi, params.m, params.seed + 1);
+    StreamDriver driver({inc_a, inc_b});
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    for (int i = 0; i < params.max_arrivals && driver.HasNext(); ++i) {
+      for (const MatchPair& p :
+           pipeline->ProcessArrival(driver.Next()).new_matches) {
+        pairs.emplace_back(p.rid_a, p.rid_b);
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  };
+
+  const auto terids = collect(PipelineKind::kTerIds);
+  const auto baseline = collect(PipelineKind::kCddEr);
+  EXPECT_EQ(terids, baseline)
+      << "alpha=" << alpha << " rho=" << rho << " xi=" << xi;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, EquivalenceSweepTest,
+    ::testing::Values(Combo{0.1, 0.5, 0.3}, Combo{0.5, 0.5, 0.3},
+                      Combo{0.8, 0.5, 0.3}, Combo{0.5, 0.3, 0.3},
+                      Combo{0.5, 0.7, 0.3}, Combo{0.5, 0.5, 0.0},
+                      Combo{0.5, 0.5, 0.6}, Combo{0.2, 0.4, 0.5},
+                      Combo{0.7, 0.6, 0.2}));
+
+}  // namespace
+}  // namespace terids

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/profiles.h"
+#include "er/similarity.h"
+#include "er/topic.h"
+#include "eval/experiment.h"
+
+namespace terids {
+namespace {
+
+ExperimentParams TinyParams() {
+  ExperimentParams params;
+  params.scale = 0.04;
+  params.w = 40;
+  params.max_arrivals = 160;
+  return params;
+}
+
+TEST(ExperimentTest, OfflineArtifactsAreBuilt) {
+  Experiment experiment(CitationsProfile(), TinyParams());
+  EXPECT_FALSE(experiment.cdds().empty());
+  EXPECT_FALSE(experiment.dds().empty());
+  EXPECT_GT(experiment.pivot_selection_seconds(), 0.0);
+  EXPECT_GT(experiment.rule_mining_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(experiment.gamma(),
+                   0.5 * CitationsProfile().num_attributes());
+}
+
+TEST(ExperimentTest, EffectiveTruthPairsSatisfyThePredicate) {
+  Experiment experiment(CitationsProfile(), TinyParams());
+  const GeneratedDataset& ds = experiment.dataset();
+  std::unordered_map<int64_t, const Record*> by_rid;
+  for (const Record& r : ds.source_a) by_rid[r.rid] = &r;
+  for (const Record& r : ds.source_b) by_rid[r.rid] = &r;
+  TopicQuery topic(*ds.dict, {ds.topic_keywords[0]});
+  for (const GroundTruthPair& gt : experiment.effective_truth()) {
+    const Record& a = *by_rid.at(gt.rid_a);
+    const Record& b = *by_rid.at(gt.rid_b);
+    // Equation (2) on complete data: similarity above gamma...
+    EXPECT_GT(RecordSimilarity(a, b), experiment.gamma());
+    // ...and at least one side topical.
+    bool topical = false;
+    for (const Record* r : {&a, &b}) {
+      for (const AttrValue& v : r->values) {
+        topical = topical || topic.Matches(v.tokens);
+      }
+    }
+    EXPECT_TRUE(topical);
+  }
+}
+
+TEST(ExperimentTest, RunsAreIsolated) {
+  // Each Run() builds a fresh repository, so running con+ER (which
+  // registers stream values into domains) must not change a later
+  // TER-iDS run.
+  Experiment experiment(CitationsProfile(), TinyParams());
+  PipelineRun before = experiment.Run(PipelineKind::kTerIds);
+  experiment.Run(PipelineKind::kConstraintEr);
+  PipelineRun after = experiment.Run(PipelineKind::kTerIds);
+  EXPECT_EQ(before.accuracy.returned, after.accuracy.returned);
+  EXPECT_EQ(before.accuracy.true_positives, after.accuracy.true_positives);
+  EXPECT_EQ(before.stats.total_pairs, after.stats.total_pairs);
+}
+
+TEST(ExperimentTest, ZeroMissingRateMakesImputersIrrelevant) {
+  ExperimentParams params = TinyParams();
+  params.xi = 0.0;
+  Experiment experiment(CitationsProfile(), params);
+  // With complete streams every pipeline computes the same predicate.
+  PipelineRun terids = experiment.Run(PipelineKind::kTerIds);
+  PipelineRun con = experiment.Run(PipelineKind::kConstraintEr);
+  EXPECT_EQ(terids.accuracy.returned, con.accuracy.returned);
+  EXPECT_EQ(terids.accuracy.true_positives, con.accuracy.true_positives);
+  // And both reproduce the predicate ground truth exactly.
+  EXPECT_DOUBLE_EQ(terids.accuracy.f_score, 1.0);
+}
+
+TEST(ExperimentTest, HigherMissingRateDoesNotImproveFScore) {
+  ExperimentParams low = TinyParams();
+  low.xi = 0.1;
+  ExperimentParams high = TinyParams();
+  high.xi = 0.8;
+  const double f_low =
+      Experiment(CitationsProfile(), low).Run(PipelineKind::kTerIds)
+          .accuracy.f_score;
+  const double f_high =
+      Experiment(CitationsProfile(), high).Run(PipelineKind::kTerIds)
+          .accuracy.f_score;
+  EXPECT_GE(f_low + 1e-9, f_high);
+}
+
+TEST(ExperimentTest, CostBreakdownSumsToReasonableTotal) {
+  Experiment experiment(CitationsProfile(), TinyParams());
+  PipelineRun run = experiment.Run(PipelineKind::kTerIds);
+  EXPECT_GT(run.total_cost.total_seconds(), 0.0);
+  EXPECT_LE(run.total_cost.total_seconds(), run.total_seconds + 1e-6);
+}
+
+}  // namespace
+}  // namespace terids

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "er/similarity.h"
+#include "synopsis/er_grid.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace terids {
+namespace {
+
+using testing_util::MakeHealthWorld;
+using testing_util::ToyWorld;
+
+class ErGridTest : public ::testing::Test {
+ protected:
+  ErGridTest()
+      : world_(MakeHealthWorld()),
+        topic_(*world_.dict, {"diabetes"}),
+        grid_(world_.repo->num_attributes(), 0.2) {}
+
+  std::shared_ptr<WindowTuple> MakeTuple(
+      int64_t rid, int stream, const std::vector<std::string>& texts) {
+    Record r = world_.Make(rid, texts);
+    r.stream_id = stream;
+    auto wt = std::make_shared<WindowTuple>();
+    wt->tuple = std::make_shared<const ImputedTuple>(
+        ImputedTuple::FromComplete(r, world_.repo.get()));
+    wt->topic = topic_.Classify(*wt->tuple);
+    return wt;
+  }
+
+  ToyWorld world_;
+  TopicQuery topic_;
+  ErGrid grid_;
+  std::vector<std::shared_ptr<WindowTuple>> keep_alive_;
+};
+
+TEST_F(ErGridTest, InsertRemoveBookkeeping) {
+  auto a = MakeTuple(1, 0, {"male", "fever", "flu", "rest"});
+  auto b = MakeTuple(2, 1, {"female", "cough", "flu", "rest"});
+  grid_.Insert(a.get());
+  grid_.Insert(b.get());
+  EXPECT_EQ(grid_.num_tuples(), 2u);
+  EXPECT_GE(grid_.num_cells(), 1u);
+  EXPECT_TRUE(grid_.Remove(a.get()));
+  EXPECT_EQ(grid_.num_tuples(), 1u);
+  EXPECT_FALSE(grid_.Remove(a.get()));  // Already removed.
+  EXPECT_TRUE(grid_.Remove(b.get()));
+  EXPECT_EQ(grid_.num_cells(), 0u);
+}
+
+TEST_F(ErGridTest, CandidatesExcludeSameStream) {
+  auto probe = MakeTuple(1, 0, {"male", "fever", "flu", "rest"});
+  auto same = MakeTuple(2, 0, {"male", "fever", "flu", "rest"});
+  auto other = MakeTuple(3, 1, {"male", "fever", "flu", "rest"});
+  grid_.Insert(same.get());
+  grid_.Insert(other.get());
+  ErGrid::CandidateResult result =
+      grid_.Candidates(*probe, /*gamma=*/2.0, /*topic_constrained=*/false);
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_EQ(result.candidates[0]->rid(), 3);
+}
+
+TEST_F(ErGridTest, TopicPruningRemovesNonTopicalPairs) {
+  // Neither probe nor member mentions diabetes: pair is prunable, even at a
+  // similarity threshold the pair easily clears.
+  auto probe = MakeTuple(1, 0, {"male", "fever", "flu", "rest"});
+  auto member = MakeTuple(2, 1, {"male", "fever", "flu", "rest"});
+  grid_.Insert(member.get());
+  ErGrid::CandidateResult result =
+      grid_.Candidates(*probe, /*gamma=*/2.0, /*topic_constrained=*/true);
+  EXPECT_TRUE(result.candidates.empty());
+  EXPECT_EQ(result.topic_pruned, 1u);
+
+  // A topical (diabetic) probe revives the pair — either side may carry the
+  // topic (gamma low enough that geometry cannot prune).
+  auto diabetic =
+      MakeTuple(3, 0, {"male", "blurred vision", "diabetes", "drug therapy"});
+  result = grid_.Candidates(*diabetic, /*gamma=*/0.5, true);
+  EXPECT_EQ(result.candidates.size(), 1u);
+}
+
+/// Soundness: every cross-stream tuple whose exact similarity with the
+/// probe exceeds gamma must be returned as a candidate (grid pruning may
+/// only discard pairs that provably cannot match).
+TEST_F(ErGridTest, CandidatesAreSupersetOfTrueMatches) {
+  Rng rng(99);
+  const std::vector<std::vector<std::string>> pool = {
+      {"male", "loss of weight", "diabetes", "drug therapy"},
+      {"female", "fever cough", "flu", "rest"},
+      {"male", "blurred vision", "diabetes", "dietary therapy"},
+      {"female", "red eye shed tears", "conjunctivitis", "eye drop"},
+      {"male", "fever poor appetite", "flu", "drink more"},
+      {"male", "loss of weight thirst", "diabetes", "dietary therapy"},
+  };
+  std::vector<std::shared_ptr<WindowTuple>> members;
+  for (int i = 0; i < 40; ++i) {
+    auto wt = MakeTuple(100 + i, /*stream=*/1,
+                        pool[rng.NextBounded(pool.size())]);
+    members.push_back(wt);
+    grid_.Insert(wt.get());
+  }
+  const double gamma = 2.5;
+  for (int p = 0; p < 10; ++p) {
+    auto probe =
+        MakeTuple(1000 + p, 0, pool[rng.NextBounded(pool.size())]);
+    ErGrid::CandidateResult result =
+        grid_.Candidates(*probe, gamma, /*topic_constrained=*/false);
+    for (const auto& member : members) {
+      const double sim =
+          InstanceSimilarity(*probe->tuple, 0, *member->tuple, 0);
+      if (sim > gamma) {
+        EXPECT_NE(std::find(result.candidates.begin(),
+                            result.candidates.end(), member.get()),
+                  result.candidates.end())
+            << "grid pruned a pair with sim " << sim;
+      }
+    }
+    // Accounting: candidates + pruned = all cross-stream tuples.
+    EXPECT_EQ(result.candidates.size() + result.topic_pruned +
+                  result.sim_pruned,
+              members.size());
+  }
+}
+
+TEST_F(ErGridTest, RemovalUpdatesAggregates) {
+  auto diabetic =
+      MakeTuple(1, 1, {"male", "blurred vision", "diabetes", "drug therapy"});
+  auto flu = MakeTuple(2, 1, {"male", "fever", "flu", "rest"});
+  grid_.Insert(diabetic.get());
+  grid_.Insert(flu.get());
+  auto probe = MakeTuple(3, 0, {"female", "cough", "flu", "rest"});
+  // Probe is non-topical; only the diabetic member is a viable partner.
+  ErGrid::CandidateResult result = grid_.Candidates(*probe, 0.5, true);
+  EXPECT_EQ(result.candidates.size(), 1u);
+
+  grid_.Remove(diabetic.get());
+  result = grid_.Candidates(*probe, 0.5, true);
+  EXPECT_TRUE(result.candidates.empty());
+  EXPECT_EQ(result.topic_pruned, 1u);
+}
+
+}  // namespace
+}  // namespace terids

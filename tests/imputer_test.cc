@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "imputation/constraint_imputer.h"
+#include "imputation/rule_based_imputer.h"
+#include "imputation/value_neighborhoods.h"
+#include "rules/rule_miner.h"
+#include "test_util.h"
+
+namespace terids {
+namespace {
+
+using testing_util::MakeHealthWorld;
+using testing_util::ToyWorld;
+
+class RuleBasedImputerTest : public ::testing::Test {
+ protected:
+  RuleBasedImputerTest() : world_(MakeHealthWorld()) {
+    MinerOptions opts;
+    opts.min_support = 2;
+    opts.min_const_freq = 2;
+    RuleMiner miner(world_.repo.get(), opts);
+    rules_ = miner.MineCdds();
+  }
+  ToyWorld world_;
+  std::vector<CddRule> rules_;
+};
+
+TEST_F(RuleBasedImputerTest, ImputesDiagnosisFromSymptoms) {
+  RuleBasedImputer imputer(world_.repo.get(), rules_, RuleImputerOptions{});
+  // Post a2 of the paper's Table 1: diabetic symptoms, missing diagnosis.
+  Record r = world_.Make(1, {"male", "loss of weight blurred vision", "-",
+                             "drug therapy"});
+  auto imputed = imputer.ImputeRecord(r, nullptr);
+  ASSERT_EQ(imputed.size(), 1u);
+  EXPECT_EQ(imputed[0].attr, 2);
+  ASSERT_FALSE(imputed[0].candidates.empty());
+  // The top candidate must be "diabetes" (it dominates the frequency vote).
+  const ValueId top = imputed[0].candidates[0].vid;
+  EXPECT_EQ(world_.repo->domain(2).text(top), "diabetes");
+  // Probabilities are a normalized distribution.
+  double total = 0;
+  for (const auto& c : imputed[0].candidates) {
+    EXPECT_GT(c.prob, 0.0);
+    total += c.prob;
+  }
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST_F(RuleBasedImputerTest, CompleteRecordNeedsNoImputation) {
+  RuleBasedImputer imputer(world_.repo.get(), rules_, RuleImputerOptions{});
+  Record r = world_.Make(2, {"male", "fever", "flu", "rest"});
+  EXPECT_TRUE(imputer.ImputeRecord(r, nullptr).empty());
+}
+
+TEST_F(RuleBasedImputerTest, CoordFilterDoesNotChangeCandidates) {
+  // The sorted-coordinate prefilter is a pure optimization: candidate
+  // distributions must be identical with and without it.
+  RuleImputerOptions with_filter;
+  with_filter.use_coord_filter = true;
+  RuleImputerOptions without_filter;
+  without_filter.use_coord_filter = false;
+  RuleBasedImputer fast(world_.repo.get(), rules_, with_filter);
+  RuleBasedImputer slow(world_.repo.get(), rules_, without_filter);
+  const std::vector<Record> probes = {
+      world_.Make(1, {"male", "loss of weight blurred vision", "-", "-"}),
+      world_.Make(2, {"female", "fever cough", "-", "rest"}),
+      world_.Make(3, {"male", "-", "diabetes", "-"}),
+  };
+  for (const Record& r : probes) {
+    auto a = fast.ImputeRecord(r, nullptr);
+    auto b = slow.ImputeRecord(r, nullptr);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].candidates.size(), b[i].candidates.size());
+      for (size_t c = 0; c < a[i].candidates.size(); ++c) {
+        EXPECT_EQ(a[i].candidates[c].vid, b[i].candidates[c].vid);
+        EXPECT_DOUBLE_EQ(a[i].candidates[c].prob, b[i].candidates[c].prob);
+      }
+    }
+  }
+}
+
+TEST_F(RuleBasedImputerTest, CostAccountingSplitsPhases) {
+  RuleBasedImputer imputer(world_.repo.get(), rules_, RuleImputerOptions{});
+  Record r = world_.Make(1, {"male", "loss of weight", "-", "-"});
+  CostBreakdown cost;
+  imputer.ImputeRecord(r, &cost);
+  EXPECT_GT(cost.cdd_select_seconds + cost.impute_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(cost.er_seconds, 0.0);
+}
+
+TEST_F(RuleBasedImputerTest, RulesForDependentPartitionsRuleSet) {
+  RuleBasedImputer imputer(world_.repo.get(), rules_, RuleImputerOptions{});
+  size_t total = 0;
+  for (int j = 0; j < world_.repo->num_attributes(); ++j) {
+    for (int idx : imputer.RulesForDependent(j)) {
+      EXPECT_EQ(imputer.rules()[idx].dependent, j);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, rules_.size());
+}
+
+TEST(ValueNeighborhoodsTest, SlicesMatchBruteForce) {
+  ToyWorld world = MakeHealthWorld();
+  std::vector<double> radius(world.repo->num_attributes(), 0.8);
+  ValueNeighborhoods neighborhoods(world.repo.get(), radius);
+  const int attr = 2;
+  const AttributeDomain& dom = world.repo->domain(attr);
+  for (ValueId center = 0; center < dom.size(); ++center) {
+    for (const Interval dep : {Interval::Of(0.0, 0.3), Interval::Of(0.2, 0.6),
+                               Interval::Of(0.0, 0.8)}) {
+      std::unordered_map<ValueId, double> freq;
+      neighborhoods.AccumulateRange(attr, center, dep, &freq);
+      for (ValueId v = 0; v < dom.size(); ++v) {
+        const double dist = JaccardDistance(dom.tokens(center), dom.tokens(v));
+        EXPECT_EQ(freq.count(v) > 0, dep.Contains(dist))
+            << "center=" << center << " v=" << v << " dist=" << dist;
+      }
+    }
+  }
+}
+
+TEST(ValueNeighborhoodsTest, InvalidateRebuildsAfterDomainGrowth) {
+  ToyWorld world = MakeHealthWorld();
+  std::vector<double> radius(world.repo->num_attributes(), 1.0);
+  ValueNeighborhoods neighborhoods(world.repo.get(), radius);
+  const size_t before = neighborhoods.Neighborhood(2, 0).size();
+  Tokenizer tok(world.dict.get());
+  world.repo->RegisterValue(2, tok.Tokenize("brand new diagnosis"), "new");
+  neighborhoods.Invalidate();
+  EXPECT_EQ(neighborhoods.Neighborhood(2, 0).size(), before + 1);
+}
+
+TEST(ConstraintImputerTest, UsesMostRecentCompleteDonor) {
+  ToyWorld world = MakeHealthWorld();
+  ConstraintImputer imputer(world.repo.get(), /*history_cap=*/10);
+  Record first = world.Make(1, {"male", "fever", "flu", "rest"});
+  first.stream_id = 0;
+  Record second = world.Make(2, {"female", "cough", "pneumonia", "antibiotics"});
+  second.stream_id = 0;
+  imputer.OnArrival(first);
+  imputer.OnArrival(second);
+
+  Record incomplete = world.Make(3, {"male", "headache", "-", "-"});
+  incomplete.stream_id = 0;
+  auto imputed = imputer.ImputeRecord(incomplete, nullptr);
+  ASSERT_EQ(imputed.size(), 2u);
+  // Sequential semantics [43]: the donor is the most recent (rid 2).
+  EXPECT_EQ(world.repo->domain(2).text(imputed[0].candidates[0].vid),
+            "pneumonia");
+  EXPECT_DOUBLE_EQ(imputed[0].candidates[0].prob, 1.0);
+}
+
+TEST(ConstraintImputerTest, IgnoresOtherStreamsAndIncompleteDonors) {
+  ToyWorld world = MakeHealthWorld();
+  ConstraintImputer imputer(world.repo.get(), 10);
+  Record other_stream = world.Make(1, {"male", "fever", "flu", "rest"});
+  other_stream.stream_id = 1;
+  Record incomplete_donor = world.Make(2, {"male", "fever", "-", "rest"});
+  incomplete_donor.stream_id = 0;
+  imputer.OnArrival(other_stream);
+  imputer.OnArrival(incomplete_donor);
+
+  Record probe = world.Make(3, {"male", "cough", "-", "rest"});
+  probe.stream_id = 0;
+  EXPECT_TRUE(imputer.ImputeRecord(probe, nullptr).empty());
+}
+
+TEST(ConstraintImputerTest, EvictionForgetsExpiredDonors) {
+  ToyWorld world = MakeHealthWorld();
+  ConstraintImputer imputer(world.repo.get(), 10);
+  Record donor = world.Make(1, {"male", "fever", "flu", "rest"});
+  donor.stream_id = 0;
+  imputer.OnArrival(donor);
+  imputer.OnEvict(donor);
+  Record probe = world.Make(2, {"male", "cough", "-", "rest"});
+  probe.stream_id = 0;
+  EXPECT_TRUE(imputer.ImputeRecord(probe, nullptr).empty());
+}
+
+}  // namespace
+}  // namespace terids

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/cdd_index.h"
+#include "index/dr_index.h"
+#include "rules/rule_miner.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace terids {
+namespace {
+
+using testing_util::MakeHealthWorld;
+using testing_util::ToyWorld;
+
+class DrIndexTest : public ::testing::Test {
+ protected:
+  DrIndexTest() : world_(MakeHealthWorld()), index_(world_.repo.get()) {
+    index_.Build();
+  }
+  ToyWorld world_;
+  DrIndex index_;
+};
+
+TEST_F(DrIndexTest, UnconstrainedRetrievalReturnsAllSamples) {
+  std::vector<AttrBand> bands(world_.repo->num_attributes());
+  std::vector<size_t> got = index_.Retrieve(bands);
+  EXPECT_EQ(got.size(), world_.repo->num_samples());
+}
+
+TEST_F(DrIndexTest, MainBandRetrievalIsSupersetOfExactMatches) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int attr =
+        static_cast<int>(rng.NextBounded(world_.repo->num_attributes()));
+    const double center = rng.NextDouble();
+    const double eps = 0.05 + rng.NextDouble() * 0.3;
+    std::vector<AttrBand> bands(world_.repo->num_attributes());
+    bands[attr].pivot_bands.push_back(
+        Interval::Of(center - eps, center + eps));
+    std::vector<size_t> got = index_.Retrieve(bands);
+    std::sort(got.begin(), got.end());
+    // Brute-force expectation.
+    std::vector<size_t> want;
+    for (size_t i = 0; i < world_.repo->num_samples(); ++i) {
+      const double coord = world_.repo->coord(
+          attr, world_.repo->sample_value_id(i, attr));
+      if (coord >= center - eps && coord <= center + eps) {
+        want.push_back(i);
+      }
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_F(DrIndexTest, SizeBandFiltersByTokenCount) {
+  std::vector<AttrBand> bands(world_.repo->num_attributes());
+  bands[1].size_band = Interval::Of(4.0, 10.0);  // Long symptom lists only.
+  std::vector<size_t> got = index_.Retrieve(bands);
+  for (size_t i : got) {
+    EXPECT_GE(world_.repo->sample(i).values[1].tokens.size(), 4u);
+  }
+  // And nothing matching was dropped.
+  size_t expect = 0;
+  for (size_t i = 0; i < world_.repo->num_samples(); ++i) {
+    if (world_.repo->sample(i).values[1].tokens.size() >= 4) ++expect;
+  }
+  EXPECT_EQ(got.size(), expect);
+}
+
+TEST_F(DrIndexTest, DynamicInsertIsRetrievable) {
+  Record extra = world_.Make(
+      5000, {"female", "sore throat", "strep", "antibiotics rest"});
+  ASSERT_TRUE(world_.repo->AddSample(extra).ok());
+  index_.InsertSample(world_.repo->num_samples() - 1);
+  std::vector<AttrBand> bands(world_.repo->num_attributes());
+  std::vector<size_t> got = index_.Retrieve(bands);
+  EXPECT_EQ(got.size(), world_.repo->num_samples());
+}
+
+class CddIndexTest : public ::testing::Test {
+ protected:
+  CddIndexTest() : world_(MakeHealthWorld()) {
+    MinerOptions opts;
+    opts.min_support = 2;
+    opts.min_const_freq = 2;
+    RuleMiner miner(world_.repo.get(), opts);
+    rules_ = miner.MineCdds();
+    index_ = std::make_unique<CddIndex>(world_.repo.get(), &rules_);
+    index_->Build();
+  }
+
+  std::vector<int> BruteForceSelect(const Record& r, int dependent) const {
+    std::vector<int> out;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const CddRule& rule = rules_[i];
+      if (rule.dependent != dependent || !rule.ApplicableTo(r)) {
+        continue;
+      }
+      // Constant constraints must match the probe exactly (the index
+      // verifies the probe side; interval rules pass selection).
+      bool ok = true;
+      for (const auto& [attr, c] : rule.determinants) {
+        if (c.kind == AttrConstraint::Kind::kConstant &&
+            !(r.values[attr].tokens ==
+              world_.repo->domain(attr).tokens(c.constant_vid))) {
+          ok = false;
+        }
+      }
+      if (ok) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+
+  ToyWorld world_;
+  std::vector<CddRule> rules_;
+  std::unique_ptr<CddIndex> index_;
+};
+
+TEST_F(CddIndexTest, MinesNonTrivialRuleSet) {
+  EXPECT_GT(rules_.size(), 4u);
+  EXPECT_GT(index_->num_groups(), 1u);
+}
+
+TEST_F(CddIndexTest, SelectRulesMatchesBruteForce) {
+  const std::vector<Record> probes = {
+      world_.Make(1, {"male", "blurred vision", "-", "drug therapy"}),
+      world_.Make(2, {"female", "fever cough", "-", "-"}),
+      world_.Make(3, {"male", "loss of weight", "-", "dietary therapy"}),
+      world_.Make(4, {"female", "-", "-", "eye drop"}),
+  };
+  for (const Record& r : probes) {
+    const ProbeCoords pc = ProbeCoords::Compute(r, *world_.repo);
+    for (int j : r.MissingAttributes()) {
+      std::vector<int> got = index_->SelectRules(r, pc, j);
+      std::sort(got.begin(), got.end());
+      std::vector<int> want = BruteForceSelect(r, j);
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << "dependent attr " << j;
+    }
+  }
+}
+
+TEST_F(CddIndexTest, CoarseDependentBoundCoversSelectedRules) {
+  Record r = world_.Make(1, {"male", "blurred vision", "-", "drug therapy"});
+  const ProbeCoords pc = ProbeCoords::Compute(r, *world_.repo);
+  const Interval bound = index_->CoarseDependentBound(r, pc, 2);
+  for (int idx : index_->SelectRules(r, pc, 2)) {
+    EXPECT_LE(bound.lo, rules_[idx].dep_interval.lo);
+    EXPECT_GE(bound.hi, rules_[idx].dep_interval.hi);
+  }
+}
+
+TEST_F(CddIndexTest, InsertAndRemoveRule) {
+  CddRule extra;
+  extra.dependent = 3;
+  extra.det_mask = 1u << 0;
+  extra.determinants.emplace_back(0, AttrConstraint::MakeInterval(0.0, 0.2));
+  extra.dep_interval = Interval::Of(0.0, 0.3);
+  rules_.push_back(extra);
+  const int idx = static_cast<int>(rules_.size()) - 1;
+  index_->InsertRule(idx);
+
+  Record r = world_.Make(9, {"male", "fever", "flu", "-"});
+  const ProbeCoords pc = ProbeCoords::Compute(r, *world_.repo);
+  std::vector<int> got = index_->SelectRules(r, pc, 3);
+  EXPECT_NE(std::find(got.begin(), got.end(), idx), got.end());
+
+  EXPECT_TRUE(index_->RemoveRule(idx));
+  got = index_->SelectRules(r, pc, 3);
+  EXPECT_EQ(std::find(got.begin(), got.end(), idx), got.end());
+  EXPECT_FALSE(index_->RemoveRule(idx));
+}
+
+TEST(ProbeCoordsTest, MissingAttributesHaveNoCoords) {
+  ToyWorld world = MakeHealthWorld();
+  Record r = world.Make(1, {"male", "-", "flu", "-"});
+  const ProbeCoords pc = ProbeCoords::Compute(r, *world.repo);
+  EXPECT_FALSE(pc.missing(0));
+  EXPECT_TRUE(pc.missing(1));
+  EXPECT_FALSE(pc.missing(2));
+  EXPECT_TRUE(pc.missing(3));
+  EXPECT_DOUBLE_EQ(
+      pc.main(2),
+      JaccardDistance(r.values[2].tokens, world.repo->pivot_tokens(2, 0)));
+}
+
+}  // namespace
+}  // namespace terids

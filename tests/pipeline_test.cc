@@ -1,0 +1,211 @@
+// Integration tests: full pipelines over generated incomplete streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baseline_engines.h"
+#include "core/pipeline.h"
+#include "core/terids_engine.h"
+#include "datagen/generator.h"
+#include "datagen/profiles.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "stream/stream_driver.h"
+
+namespace terids {
+namespace {
+
+ExperimentParams SmallParams() {
+  ExperimentParams params;
+  params.scale = 0.06;
+  params.w = 60;
+  params.max_arrivals = 260;
+  params.xi = 0.3;
+  params.m = 1;
+  return params;
+}
+
+class PipelineIntegrationTest : public ::testing::Test {
+ protected:
+  PipelineIntegrationTest()
+      : experiment_(CitationsProfile(), SmallParams()) {}
+  Experiment experiment_;
+};
+
+TEST_F(PipelineIntegrationTest, AllPipelinesRunToCompletion) {
+  for (PipelineKind kind :
+       {PipelineKind::kTerIds, PipelineKind::kIjGer, PipelineKind::kCddEr,
+        PipelineKind::kDdEr, PipelineKind::kEditingEr,
+        PipelineKind::kConstraintEr}) {
+    PipelineRun run = experiment_.Run(kind);
+    EXPECT_EQ(run.arrivals, 260u);
+    EXPECT_GE(run.accuracy.f_score, 0.0);
+    EXPECT_LE(run.accuracy.f_score, 1.0);
+  }
+}
+
+/// The central consistency property: the indexed engines (TER-iDS, Ij+GER)
+/// and the unindexed CDD+ER baseline share the imputation model, so their
+/// reported pair sets must be identical — indexes and pruning change cost,
+/// never results.
+TEST_F(PipelineIntegrationTest, IndexedAndLinearCddPipelinesAgree) {
+  auto collect = [&](PipelineKind kind) {
+    std::unique_ptr<Repository> repo = experiment_.BuildRepository();
+    std::unique_ptr<ErPipeline> pipeline = MakePipeline(
+        kind, repo.get(), experiment_.MakeConfig(), 2, experiment_.cdds(),
+        experiment_.dds(), experiment_.editing_rules());
+    std::vector<Record> inc_a = DataGenerator::WithMissing(
+        experiment_.dataset().source_a, SmallParams().xi, 1,
+        SmallParams().seed);
+    std::vector<Record> inc_b = DataGenerator::WithMissing(
+        experiment_.dataset().source_b, SmallParams().xi, 1,
+        SmallParams().seed + 1);
+    StreamDriver driver({inc_a, inc_b});
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    for (int i = 0; i < 260 && driver.HasNext(); ++i) {
+      for (const MatchPair& p : pipeline->ProcessArrival(driver.Next()).new_matches) {
+        pairs.emplace_back(p.rid_a, p.rid_b);
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  };
+  const auto terids = collect(PipelineKind::kTerIds);
+  const auto ijger = collect(PipelineKind::kIjGer);
+  const auto cdder = collect(PipelineKind::kCddEr);
+  EXPECT_EQ(terids, cdder);
+  EXPECT_EQ(ijger, cdder);
+  EXPECT_FALSE(terids.empty());
+}
+
+TEST_F(PipelineIntegrationTest, ReportedPairsSpanTwoStreams) {
+  std::unique_ptr<Repository> repo = experiment_.BuildRepository();
+  std::unique_ptr<ErPipeline> pipeline = MakePipeline(
+      PipelineKind::kTerIds, repo.get(), experiment_.MakeConfig(), 2,
+      experiment_.cdds(), experiment_.dds(), experiment_.editing_rules());
+  const int64_t a_size =
+      static_cast<int64_t>(experiment_.dataset().source_a.size());
+  StreamDriver driver(
+      {experiment_.dataset().source_a, experiment_.dataset().source_b});
+  for (int i = 0; i < 260 && driver.HasNext(); ++i) {
+    for (const MatchPair& p : pipeline->ProcessArrival(driver.Next()).new_matches) {
+      const bool a_from_a = p.rid_a < a_size;
+      const bool b_from_a = p.rid_b < a_size;
+      EXPECT_NE(a_from_a, b_from_a) << "pair within one stream reported";
+    }
+  }
+}
+
+TEST_F(PipelineIntegrationTest, MatchProbabilitiesExceedAlpha) {
+  std::unique_ptr<Repository> repo = experiment_.BuildRepository();
+  const EngineConfig config = experiment_.MakeConfig();
+  std::unique_ptr<ErPipeline> pipeline = MakePipeline(
+      PipelineKind::kTerIds, repo.get(), config, 2, experiment_.cdds(),
+      experiment_.dds(), experiment_.editing_rules());
+  StreamDriver driver(
+      {experiment_.dataset().source_a, experiment_.dataset().source_b});
+  for (int i = 0; i < 260 && driver.HasNext(); ++i) {
+    for (const MatchPair& p : pipeline->ProcessArrival(driver.Next()).new_matches) {
+      EXPECT_GT(p.probability, config.alpha);
+    }
+  }
+}
+
+TEST_F(PipelineIntegrationTest, EvictionRemovesExpiredPairsFromResultSet) {
+  std::unique_ptr<Repository> repo = experiment_.BuildRepository();
+  EngineConfig config = experiment_.MakeConfig();
+  config.window_size = 20;  // Aggressive eviction.
+  TerIdsEngine engine(repo.get(), config, 2, experiment_.cdds());
+  StreamDriver driver(
+      {experiment_.dataset().source_a, experiment_.dataset().source_b});
+  int64_t clock = 0;
+  std::vector<std::pair<int64_t, int64_t>> live;
+  while (driver.HasNext() && clock < 400) {
+    const Record r = driver.Next();
+    engine.ProcessArrival(r);
+    ++clock;
+  }
+  // Every pair still in ES must reference tuples inside the live windows.
+  std::vector<int64_t> live_rids;
+  for (int s = 0; s < 2; ++s) {
+    for (const auto& wt : engine.window(s).tuples()) {
+      live_rids.push_back(wt->rid());
+    }
+  }
+  std::sort(live_rids.begin(), live_rids.end());
+  for (const MatchPair& p : engine.results().ToVector()) {
+    EXPECT_TRUE(std::binary_search(live_rids.begin(), live_rids.end(), p.rid_a));
+    EXPECT_TRUE(std::binary_search(live_rids.begin(), live_rids.end(), p.rid_b));
+  }
+}
+
+TEST_F(PipelineIntegrationTest, UnconstrainedQueryReturnsSupersetOfTopical) {
+  // With K = all topics (unconstrained), the result set must contain every
+  // pair the topical query reports.
+  ExperimentParams params = SmallParams();
+  Experiment topical(CitationsProfile(), params);
+  PipelineRun topical_run = topical.Run(PipelineKind::kTerIds);
+
+  params.topics_in_query = 10;  // All generated topics.
+  Experiment broad(CitationsProfile(), params);
+  PipelineRun broad_run = broad.Run(PipelineKind::kTerIds);
+  EXPECT_GE(broad_run.accuracy.returned, topical_run.accuracy.returned);
+}
+
+TEST_F(PipelineIntegrationTest, PruningPowerIsHigh) {
+  PipelineRun run = experiment_.Run(PipelineKind::kTerIds);
+  EXPECT_GT(run.stats.total_pairs, 0u);
+  // The paper reports 98.32%-99.43% across datasets; at our scales the
+  // cascade should still kill the overwhelming majority of pairs.
+  EXPECT_GT(run.stats.TotalPower(), 0.9);
+  // Topic pruning dominates (Figure 4's shape).
+  EXPECT_GT(run.stats.topic_pruned, run.stats.prob_ub_pruned);
+}
+
+TEST_F(PipelineIntegrationTest, DynamicRepositoryAbsorption) {
+  std::unique_ptr<Repository> repo = experiment_.BuildRepository();
+  TerIdsEngine engine(repo.get(), experiment_.MakeConfig(), 2,
+                      experiment_.cdds());
+  const size_t before = repo->num_samples();
+  std::vector<Record> batch(experiment_.dataset().repo_records.begin(),
+                            experiment_.dataset().repo_records.begin() + 5);
+  ASSERT_TRUE(engine.AbsorbRepositoryBatch(batch).ok());
+  EXPECT_EQ(repo->num_samples(), before + 5);
+  EXPECT_EQ(engine.dr_index().size(), before + 5);
+  // The engine still processes arrivals correctly afterwards.
+  StreamDriver driver(
+      {experiment_.dataset().source_a, experiment_.dataset().source_b});
+  for (int i = 0; i < 50 && driver.HasNext(); ++i) {
+    engine.ProcessArrival(driver.Next());
+  }
+  SUCCEED();
+}
+
+TEST(MetricsTest, FScoreMath) {
+  std::vector<MatchPair> returned = {{1, 10, 0.9}, {2, 11, 0.8}, {3, 12, 0.7}};
+  std::vector<GroundTruthPair> truth = {{1, 10}, {2, 11}, {4, 13}, {5, 14}};
+  PrecisionRecall pr = ComputeFScore(returned, truth);
+  EXPECT_EQ(pr.true_positives, 2u);
+  EXPECT_DOUBLE_EQ(pr.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+  EXPECT_NEAR(pr.f_score, 2 * (2.0 / 3.0) * 0.5 / ((2.0 / 3.0) + 0.5), 1e-12);
+}
+
+TEST(MetricsTest, EmptyInputsAreZero) {
+  PrecisionRecall pr = ComputeFScore({}, {});
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.f_score, 0.0);
+}
+
+TEST(MetricsTest, DuplicateReturnsCountOnce) {
+  std::vector<MatchPair> returned = {{1, 10, 0.9}, {10, 1, 0.8}};
+  std::vector<GroundTruthPair> truth = {{1, 10}};
+  PrecisionRecall pr = ComputeFScore(returned, truth);
+  EXPECT_EQ(pr.returned, 1u);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+}
+
+}  // namespace
+}  // namespace terids

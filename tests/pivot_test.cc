@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pivot/pivot_selector.h"
+#include "test_util.h"
+
+namespace terids {
+namespace {
+
+using testing_util::MakeHealthWorld;
+using testing_util::ToyWorld;
+
+TEST(EntropyTest, UniformBucketsMaximizeEntropy) {
+  // 10 coordinates spread evenly over 10 buckets: entropy = log2(10).
+  std::vector<double> coords;
+  for (int i = 0; i < 10; ++i) {
+    coords.push_back(i / 10.0 + 0.05);
+  }
+  EXPECT_NEAR(PivotSelector::Entropy(coords, 10), std::log2(10.0), 1e-9);
+}
+
+TEST(EntropyTest, ConstantCoordinatesHaveZeroEntropy) {
+  std::vector<double> coords(100, 0.42);
+  EXPECT_DOUBLE_EQ(PivotSelector::Entropy(coords, 10), 0.0);
+}
+
+TEST(EntropyTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(PivotSelector::Entropy({}, 10), 0.0);
+}
+
+TEST(EntropyTest, BoundaryCoordinateFallsInLastBucket) {
+  // Coordinate exactly 1.0 must not index out of range.
+  std::vector<double> coords{1.0, 0.0};
+  EXPECT_NEAR(PivotSelector::Entropy(coords, 10), 1.0, 1e-9);
+}
+
+TEST(JointEntropyTest, IndependentPivotsAddInformation) {
+  // Pivot 1 splits {0, 1}; pivot 2 splits the same points differently:
+  // joint entropy must be >= each marginal.
+  std::vector<double> p1{0.05, 0.05, 0.95, 0.95};
+  std::vector<double> p2{0.05, 0.95, 0.05, 0.95};
+  const double h1 = PivotSelector::Entropy(p1, 10);
+  const double h2 = PivotSelector::Entropy(p2, 10);
+  const double joint = PivotSelector::JointEntropy({p1, p2}, 10);
+  EXPECT_GE(joint, h1 - 1e-12);
+  EXPECT_GE(joint, h2 - 1e-12);
+  EXPECT_NEAR(joint, 2.0, 1e-9);  // 4 distinct cells, uniform.
+}
+
+TEST(JointEntropyTest, DuplicatedPivotAddsNothing) {
+  std::vector<double> p{0.05, 0.5, 0.95, 0.3};
+  const double h = PivotSelector::Entropy(p, 10);
+  EXPECT_NEAR(PivotSelector::JointEntropy({p, p}, 10), h, 1e-9);
+}
+
+TEST(PivotSelectorTest, SelectsAtLeastMainPivotPerAttribute) {
+  ToyWorld world = MakeHealthWorld();
+  PivotSelector selector(world.repo.get(), PivotOptions{});
+  std::vector<AttributePivots> pivots = selector.SelectAll();
+  ASSERT_EQ(static_cast<int>(pivots.size()), world.repo->num_attributes());
+  for (const AttributePivots& p : pivots) {
+    EXPECT_GE(p.count(), 1);
+  }
+}
+
+TEST(PivotSelectorTest, RespectsCntMax) {
+  ToyWorld world = MakeHealthWorld();
+  PivotOptions opts;
+  opts.cnt_max = 1;
+  opts.min_entropy = 100.0;  // Unreachable: would want many pivots.
+  PivotSelector selector(world.repo.get(), opts);
+  for (const AttributePivots& p : selector.SelectAll()) {
+    EXPECT_EQ(p.count(), 1);
+  }
+}
+
+TEST(PivotSelectorTest, StopsAddingOnceEntropyReached) {
+  ToyWorld world = MakeHealthWorld();
+  PivotOptions opts;
+  opts.cnt_max = 5;
+  opts.min_entropy = 0.0;  // Any single pivot satisfies eMin.
+  PivotSelector selector(world.repo.get(), opts);
+  for (const AttributePivots& p : selector.SelectAll()) {
+    EXPECT_EQ(p.count(), 1);
+  }
+}
+
+TEST(PivotSelectorTest, MainPivotMaximizesSingleEntropyAmongCandidates) {
+  ToyWorld world = MakeHealthWorld();
+  PivotOptions opts;
+  opts.candidate_samples = 0;  // Exhaustive candidates.
+  opts.eval_samples = 0;       // Exhaustive evaluation.
+  PivotSelector selector(world.repo.get(), opts);
+  const int attr = 1;  // symptom: the most diverse attribute.
+  AttributePivots chosen = selector.SelectForAttribute(attr);
+
+  const AttributeDomain& dom = world.repo->domain(attr);
+  std::vector<double> chosen_coords;
+  for (ValueId v = 0; v < dom.size(); ++v) {
+    chosen_coords.push_back(
+        JaccardDistance(dom.tokens(v), chosen.pivots[0]));
+  }
+  const double chosen_h = PivotSelector::Entropy(chosen_coords, opts.buckets);
+  for (ValueId cand = 0; cand < dom.size(); ++cand) {
+    std::vector<double> coords;
+    for (ValueId v = 0; v < dom.size(); ++v) {
+      coords.push_back(JaccardDistance(dom.tokens(v), dom.tokens(cand)));
+    }
+    EXPECT_LE(PivotSelector::Entropy(coords, opts.buckets), chosen_h + 1e-9);
+  }
+}
+
+TEST(PivotSelectorTest, EmptyDomainYieldsEmptyPivot) {
+  Schema schema({"a"});
+  TokenDict dict;
+  Repository repo(&schema, &dict);
+  PivotSelector selector(&repo, PivotOptions{});
+  AttributePivots p = selector.SelectForAttribute(0);
+  EXPECT_EQ(p.count(), 1);
+  EXPECT_TRUE(p.pivots[0].empty());
+}
+
+}  // namespace
+}  // namespace terids

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "repo/repository.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace terids {
+namespace {
+
+using testing_util::MakeHealthWorld;
+using testing_util::ToyWorld;
+
+TEST(AttributeDomainTest, DeduplicatesByTokenSet) {
+  ToyWorld world = MakeHealthWorld();
+  // "diabetes" appears in several samples but the domain holds it once.
+  const AttributeDomain& dom = world.repo->domain(2);
+  int diabetes_count = 0;
+  for (ValueId v = 0; v < dom.size(); ++v) {
+    if (dom.text(v) == "diabetes") ++diabetes_count;
+  }
+  EXPECT_EQ(diabetes_count, 1);
+}
+
+TEST(AttributeDomainTest, FrequencyCountsSamples) {
+  ToyWorld world = MakeHealthWorld();
+  const AttributeDomain& dom = world.repo->domain(2);
+  ValueId diabetes = kInvalidValueId;
+  for (ValueId v = 0; v < dom.size(); ++v) {
+    if (dom.text(v) == "diabetes") diabetes = v;
+  }
+  ASSERT_NE(diabetes, kInvalidValueId);
+  EXPECT_EQ(dom.frequency(diabetes), 4);  // 4 diabetes samples in the toy set.
+}
+
+TEST(RepositoryTest, RejectsIncompleteSamples) {
+  ToyWorld world = MakeHealthWorld();
+  Record bad = world.Make(99, {"male", "-", "flu", "rest"});
+  EXPECT_FALSE(world.repo->AddSample(bad).ok());
+}
+
+TEST(RepositoryTest, RejectsWrongArity) {
+  ToyWorld world = MakeHealthWorld();
+  Record bad;
+  bad.rid = 99;
+  bad.values.resize(2);
+  EXPECT_FALSE(world.repo->AddSample(bad).ok());
+}
+
+TEST(RepositoryTest, SampleValueIdsConsistentWithDomains) {
+  ToyWorld world = MakeHealthWorld();
+  for (size_t i = 0; i < world.repo->num_samples(); ++i) {
+    for (int x = 0; x < world.repo->num_attributes(); ++x) {
+      const ValueId vid = world.repo->sample_value_id(i, x);
+      EXPECT_TRUE(world.repo->domain(x).tokens(vid) ==
+                  world.repo->sample(i).values[x].tokens);
+    }
+  }
+}
+
+TEST(RepositoryTest, PivotDistanceMatchesDirectComputation) {
+  ToyWorld world = MakeHealthWorld();
+  for (int x = 0; x < world.repo->num_attributes(); ++x) {
+    const AttributeDomain& dom = world.repo->domain(x);
+    for (int a = 0; a < world.repo->num_pivots(x); ++a) {
+      for (ValueId v = 0; v < dom.size(); ++v) {
+        EXPECT_DOUBLE_EQ(
+            world.repo->pivot_distance(x, a, v),
+            JaccardDistance(dom.tokens(v), world.repo->pivot_tokens(x, a)));
+      }
+    }
+  }
+}
+
+TEST(RepositoryTest, ValuesInCoordRangeMatchesBruteForce) {
+  ToyWorld world = MakeHealthWorld();
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int x =
+        static_cast<int>(rng.NextBounded(world.repo->num_attributes()));
+    double lo = rng.NextDouble();
+    double hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    const Interval band = Interval::Of(lo, hi);
+    std::vector<ValueId> got = world.repo->ValuesInCoordRange(x, band);
+    std::sort(got.begin(), got.end());
+    std::vector<ValueId> want;
+    for (ValueId v = 0; v < world.repo->domain(x).size(); ++v) {
+      if (band.Contains(world.repo->coord(x, v))) {
+        want.push_back(v);
+      }
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(RepositoryTest, RegisterValueExtendsPivotTables) {
+  ToyWorld world = MakeHealthWorld();
+  const size_t before = world.repo->domain(2).size();
+  TokenDict* dict = world.dict.get();
+  Tokenizer tok(dict);
+  TokenSet tokens = tok.Tokenize("hypertension");
+  const ValueId vid = world.repo->RegisterValue(2, tokens, "hypertension");
+  EXPECT_EQ(world.repo->domain(2).size(), before + 1);
+  // Pivot distances are immediately queryable for the new value.
+  EXPECT_DOUBLE_EQ(world.repo->pivot_distance(2, 0, vid),
+                   JaccardDistance(tokens, world.repo->pivot_tokens(2, 0)));
+  // And the value is findable through the coordinate range scan.
+  const double c = world.repo->coord(2, vid);
+  std::vector<ValueId> got = world.repo->ValuesInCoordRange(
+      2, Interval::Of(c - 1e-9, c + 1e-9));
+  EXPECT_NE(std::find(got.begin(), got.end(), vid), got.end());
+}
+
+TEST(RepositoryTest, RegisterValueIsIdempotentForKnownTokens) {
+  ToyWorld world = MakeHealthWorld();
+  const AttributeDomain& dom = world.repo->domain(2);
+  const size_t before = dom.size();
+  const TokenSet existing = dom.tokens(0);
+  const ValueId vid = world.repo->RegisterValue(2, existing, "dup");
+  EXPECT_EQ(vid, 0u);
+  EXPECT_EQ(dom.size(), before);
+}
+
+TEST(RepositoryTest, AddSampleAfterPivotsKeepsTablesConsistent) {
+  ToyWorld world = MakeHealthWorld();
+  Record r = world.Make(
+      2000, {"female", "sore throat fever", "strep throat", "antibiotics"});
+  ASSERT_TRUE(world.repo->AddSample(r).ok());
+  const size_t i = world.repo->num_samples() - 1;
+  for (int x = 0; x < world.repo->num_attributes(); ++x) {
+    const ValueId vid = world.repo->sample_value_id(i, x);
+    EXPECT_DOUBLE_EQ(
+        world.repo->coord(x, vid),
+        JaccardDistance(r.values[x].tokens, world.repo->pivot_tokens(x, 0)));
+  }
+}
+
+}  // namespace
+}  // namespace terids

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "text/token_dict.h"
+#include "text/token_set.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace terids {
+namespace {
+
+TEST(TokenDictTest, InternIsIdempotent) {
+  TokenDict dict;
+  Token a = dict.Intern("diabetes");
+  Token b = dict.Intern("diabetes");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(TokenDictTest, FindMissesUnseen) {
+  TokenDict dict;
+  dict.Intern("fever");
+  EXPECT_EQ(dict.Find("fever"), 0u);
+  EXPECT_EQ(dict.Find("cough"), kInvalidToken);
+}
+
+TEST(TokenDictTest, TextRoundTrips) {
+  TokenDict dict;
+  Token t = dict.Intern("pneumonia");
+  EXPECT_EQ(dict.TextOf(t), "pneumonia");
+}
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  TokenDict dict;
+  Tokenizer tok(&dict);
+  TokenSet set = tok.Tokenize("Loss of Weight, blurred-vision!");
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_TRUE(set.Contains(dict.Find("loss")));
+  EXPECT_TRUE(set.Contains(dict.Find("blurred")));
+  EXPECT_TRUE(set.Contains(dict.Find("vision")));
+}
+
+TEST(TokenizerTest, DeduplicatesTokens) {
+  TokenDict dict;
+  Tokenizer tok(&dict);
+  TokenSet set = tok.Tokenize("drug therapy drug therapy");
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TokenizerTest, FrozenTokenizerDropsUnknownWords) {
+  TokenDict dict;
+  Tokenizer tok(&dict);
+  tok.Tokenize("known words only");
+  TokenSet set = tok.TokenizeFrozen("known and unknown words");
+  EXPECT_EQ(set.size(), 2u);  // "known", "words"
+  EXPECT_EQ(dict.Find("unknown"), kInvalidToken);
+}
+
+TEST(TokenizerTest, EmptyInputYieldsEmptySet) {
+  TokenDict dict;
+  Tokenizer tok(&dict);
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  ,;!  ").empty());
+}
+
+TEST(TokenSetTest, FromTokensSortsAndDedups) {
+  TokenSet set = TokenSet::FromTokens({5, 1, 3, 1, 5});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.tokens(), (std::vector<Token>{1, 3, 5}));
+}
+
+TEST(TokenSetTest, IntersectionSize) {
+  TokenSet a = TokenSet::FromTokens({1, 2, 3, 4});
+  TokenSet b = TokenSet::FromTokens({3, 4, 5});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(b.IntersectionSize(a), 2u);
+}
+
+TEST(JaccardTest, KnownValues) {
+  TokenSet a = TokenSet::FromTokens({1, 2, 3});
+  TokenSet b = TokenSet::FromTokens({2, 3, 4});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, b), 0.5);
+}
+
+TEST(JaccardTest, IdenticalSetsHaveSimilarityOne) {
+  TokenSet a = TokenSet::FromTokens({7, 8});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+}
+
+TEST(JaccardTest, DisjointSetsHaveSimilarityZero) {
+  TokenSet a = TokenSet::FromTokens({1});
+  TokenSet b = TokenSet::FromTokens({2});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.0);
+}
+
+TEST(JaccardTest, EmptyConventions) {
+  TokenSet empty;
+  TokenSet nonempty = TokenSet::FromTokens({1});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(empty, nonempty), 0.0);
+}
+
+// --- Property tests ---------------------------------------------------
+
+TokenSet RandomSet(Rng* rng, int max_size, int vocab) {
+  std::vector<Token> tokens;
+  const int size = static_cast<int>(rng->NextBounded(max_size + 1));
+  for (int i = 0; i < size; ++i) {
+    tokens.push_back(static_cast<Token>(rng->NextBounded(vocab)));
+  }
+  return TokenSet::FromTokens(std::move(tokens));
+}
+
+class JaccardPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JaccardPropertyTest, SymmetricAndBounded) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    TokenSet a = RandomSet(&rng, 12, 30);
+    TokenSet b = RandomSet(&rng, 12, 30);
+    const double sim = JaccardSimilarity(a, b);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+    EXPECT_DOUBLE_EQ(sim, JaccardSimilarity(b, a));
+  }
+}
+
+TEST_P(JaccardPropertyTest, DistanceSatisfiesTriangleInequality) {
+  // The triangle inequality is what Lemma 4.2, the pivot embedding, and
+  // every coordinate-band filter in the system rely on.
+  Rng rng(GetParam() * 31 + 1);
+  for (int i = 0; i < 200; ++i) {
+    TokenSet a = RandomSet(&rng, 10, 25);
+    TokenSet b = RandomSet(&rng, 10, 25);
+    TokenSet c = RandomSet(&rng, 10, 25);
+    const double ab = JaccardDistance(a, b);
+    const double bc = JaccardDistance(b, c);
+    const double ac = JaccardDistance(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-12);
+  }
+}
+
+TEST_P(JaccardPropertyTest, IdentityOfIndiscernibles) {
+  Rng rng(GetParam() * 17 + 3);
+  for (int i = 0; i < 100; ++i) {
+    TokenSet a = RandomSet(&rng, 10, 25);
+    EXPECT_DOUBLE_EQ(JaccardDistance(a, a), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JaccardPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace terids
