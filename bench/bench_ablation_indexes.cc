@@ -77,6 +77,7 @@ std::unique_ptr<Repository> RandomPivotRepo(const Experiment& experiment,
 int main() {
   using namespace terids::bench;
   ExperimentParams base = BaseParams("Citations");
+  JsonReporter reporter("Ablation");
   PrintHeader("Ablation", "index design choices", base);
 
   std::printf("\n(a) entropy-selected vs random pivots (TER-iDS engine)\n");
@@ -94,6 +95,13 @@ int main() {
                 entropy.ms_per_arrival, random.ms_per_arrival,
                 100.0 * entropy.pruning_power, 100.0 * random.pruning_power);
     std::fflush(stdout);
+    reporter.AddRow()
+        .Str("part", "pivots")
+        .Str("dataset", name)
+        .Num("entropy_ms_per_arrival", entropy.ms_per_arrival)
+        .Num("random_ms_per_arrival", random.ms_per_arrival)
+        .Num("entropy_prune_pct", 100.0 * entropy.pruning_power)
+        .Num("random_prune_pct", 100.0 * random.pruning_power);
   }
 
   std::printf("\n(b) ER-grid cell width sweep (Citations, TER-iDS engine)\n");
@@ -108,6 +116,13 @@ int main() {
     std::printf("%-10.2f %14.4f %14.2f %10zu\n", width, r.ms_per_arrival,
                 100.0 * r.pruning_power, r.matches);
     std::fflush(stdout);
+    reporter.AddRow()
+        .Str("part", "cell_width")
+        .Str("dataset", "Citations")
+        .Num("cell_width", width)
+        .Num("ms_per_arrival", r.ms_per_arrival)
+        .Num("prune_pct", 100.0 * r.pruning_power)
+        .Num("matches", static_cast<double>(r.matches));
   }
   std::printf(
       "\nexpected: entropy pivots match or beat random pivots in per-arrival\n"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 
 #include "datagen/profiles.h"
@@ -60,6 +61,82 @@ const std::vector<PipelineKind>& AccuracyPipelines() {
   return *kKinds;
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string NumToJson(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+JsonReporter::Row& JsonReporter::Row::Str(const std::string& key,
+                                          const std::string& value) {
+  return Raw(key, "\"" + JsonEscape(value) + "\"");
+}
+
+JsonReporter::Row& JsonReporter::Row::Num(const std::string& key,
+                                          double value) {
+  return Raw(key, NumToJson(value));
+}
+
+JsonReporter::Row& JsonReporter::Row::Raw(const std::string& key,
+                                          const std::string& json) {
+  if (!body_.empty()) {
+    body_ += ",";
+  }
+  body_ += "\"" + JsonEscape(key) + "\":" + json;
+  return *this;
+}
+
+JsonReporter::JsonReporter(std::string figure) : figure_(std::move(figure)) {
+  const char* env = std::getenv("TERIDS_BENCH_JSON");
+  if (env != nullptr && env[0] != '\0') {
+    path_ = env;
+  }
+}
+
+JsonReporter::Row& JsonReporter::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+JsonReporter::~JsonReporter() {
+  if (path_.empty()) {
+    return;
+  }
+  std::ofstream out(path_);
+  if (!out) {
+    std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
+    return;
+  }
+  out << "{\"figure\":\"" << JsonEscape(figure_)
+      << "\",\"bench_scale\":" << NumToJson(EnvScale()) << ",\"rows\":[";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "{" << rows_[i].body_ << "}";
+  }
+  out << "]}\n";
+}
+
 void PrintHeader(const std::string& figure, const std::string& title,
                  const ExperimentParams& params) {
   std::printf("==== %s: %s ====\n", figure.c_str(), title.c_str());
@@ -76,6 +153,8 @@ void Sweep(const std::string& figure, const std::string& param_name,
            const std::vector<double>& values, const ParamSetter& setter,
            const std::vector<PipelineKind>& kinds, bool report_time) {
   ExperimentParams base = BaseParams("Citations");
+  JsonReporter reporter(figure);
+  const char* metric_name = report_time ? "ms_per_arrival" : "f_score";
   PrintHeader(figure,
               (report_time ? "wall clock time (ms/arrival) vs "
                            : "F-score vs ") +
@@ -103,11 +182,18 @@ void Sweep(const std::string& figure, const std::string& param_name,
     }
     for (PipelineKind kind : kinds) {
       std::printf("%-10s", PipelineKindName(kind));
-      for (auto& experiment : experiments) {
-        PipelineRun run = experiment->Run(kind);
-        std::printf(" %-11.4f", report_time ? 1e3 * run.avg_arrival_seconds
-                                            : run.accuracy.f_score);
+      for (size_t i = 0; i < experiments.size(); ++i) {
+        PipelineRun run = experiments[i]->Run(kind);
+        const double metric = report_time ? 1e3 * run.avg_arrival_seconds
+                                          : run.accuracy.f_score;
+        std::printf(" %-11.4f", metric);
         std::fflush(stdout);
+        reporter.AddRow()
+            .Str("dataset", dataset)
+            .Str("pipeline", PipelineKindName(kind))
+            .Str("param", param_name)
+            .Num("value", values[i])
+            .Num(metric_name, metric);
       }
       std::printf("\n");
     }

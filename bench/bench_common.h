@@ -1,6 +1,7 @@
 #ifndef TERIDS_BENCH_BENCH_COMMON_H_
 #define TERIDS_BENCH_BENCH_COMMON_H_
 
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -33,6 +34,41 @@ const std::vector<PipelineKind>& AccuracyPipelines();
 /// Prints the figure banner and the effective parameter values.
 void PrintHeader(const std::string& figure, const std::string& title,
                  const ExperimentParams& params);
+
+/// Machine-readable bench output. When the TERIDS_BENCH_JSON environment
+/// variable names a file, every row added here is written on destruction as
+///   {"figure": "...", "bench_scale": 1.0, "rows": [{...}, ...]}
+/// so CI can archive bench results as artifacts. With the variable unset
+/// the reporter is a no-op and benches stay pure-stdout.
+class JsonReporter {
+ public:
+  class Row {
+   public:
+    Row& Str(const std::string& key, const std::string& value);
+    Row& Num(const std::string& key, double value);
+    /// Splices a pre-rendered JSON value (e.g. CostBreakdown::ToJson()).
+    Row& Raw(const std::string& key, const std::string& json);
+
+   private:
+    friend class JsonReporter;
+    std::string body_;
+  };
+
+  explicit JsonReporter(std::string figure);
+  ~JsonReporter();
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+  Row& AddRow();
+
+ private:
+  std::string figure_;
+  std::string path_;
+  // deque, not vector: AddRow() hands out references that must survive
+  // later AddRow() calls.
+  std::deque<Row> rows_;
+};
 
 using ParamSetter = std::function<void(ExperimentParams*, double)>;
 

@@ -9,6 +9,7 @@ int main() {
   using namespace terids;
   using namespace terids::bench;
   ExperimentParams base = BaseParams("Citations");
+  JsonReporter reporter("Figure 5(a)");
   PrintHeader("Figure 5(a)", "F-score vs real data sets", base);
   std::printf("%-10s", "dataset");
   for (PipelineKind kind : AccuracyPipelines()) {
@@ -22,6 +23,12 @@ int main() {
       PipelineRun run = experiment.Run(kind);
       std::printf(" %10.4f", run.accuracy.f_score);
       std::fflush(stdout);
+      reporter.AddRow()
+          .Str("dataset", name)
+          .Str("pipeline", PipelineKindName(kind))
+          .Num("f_score", run.accuracy.f_score)
+          .Num("truth_pairs",
+               static_cast<double>(experiment.effective_truth().size()));
     }
     std::printf(" %8zu\n", experiment.effective_truth().size());
   }

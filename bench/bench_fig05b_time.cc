@@ -9,6 +9,7 @@ int main() {
   using namespace terids;
   using namespace terids::bench;
   ExperimentParams base = BaseParams("Citations");
+  JsonReporter reporter("Figure 5(b)");
   PrintHeader("Figure 5(b)", "wall clock time (ms/arrival) vs data sets",
               base);
   std::printf("%-10s", "dataset");
@@ -23,6 +24,10 @@ int main() {
       PipelineRun run = experiment.Run(kind);
       std::printf(" %10.4f", 1e3 * run.avg_arrival_seconds);
       std::fflush(stdout);
+      reporter.AddRow()
+          .Str("dataset", name)
+          .Str("pipeline", PipelineKindName(kind))
+          .Num("ms_per_arrival", 1e3 * run.avg_arrival_seconds);
     }
     std::printf("\n");
   }

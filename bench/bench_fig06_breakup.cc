@@ -9,18 +9,21 @@ int main() {
   using namespace terids;
   using namespace terids::bench;
   ExperimentParams base = BaseParams("Citations");
+  JsonReporter reporter("Figure 6");
   PrintHeader("Figure 6", "break-up cost of TER-iDS (ms/arrival)", base);
   std::printf("%-10s %14s %14s %14s %14s\n", "dataset", "CDD-selection",
               "imputation", "ER", "total");
   for (const std::string& name : AllDatasets()) {
     Experiment experiment(ProfileByName(name), BaseParams(name));
     PipelineRun run = experiment.Run(PipelineKind::kTerIds);
-    const double n = static_cast<double>(run.arrivals);
+    const CostBreakdown per_arrival = run.total_cost.PerArrival(run.arrivals);
     std::printf("%-10s %14.5f %14.5f %14.5f %14.5f\n", name.c_str(),
-                1e3 * run.total_cost.cdd_select_seconds / n,
-                1e3 * run.total_cost.impute_seconds / n,
-                1e3 * run.total_cost.er_seconds / n,
-                1e3 * run.total_cost.total_seconds() / n);
+                1e3 * per_arrival.cdd_select_seconds,
+                1e3 * per_arrival.impute_seconds, 1e3 * per_arrival.er_seconds,
+                1e3 * per_arrival.total_seconds());
+    reporter.AddRow()
+        .Str("dataset", name)
+        .Raw("per_arrival", per_arrival.ToJson());
   }
   std::printf(
       "\npaper shape: ER dominates on all datasets except Songs (large |R|\n"

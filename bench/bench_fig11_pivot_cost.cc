@@ -27,6 +27,7 @@ int main() {
   using namespace terids;
   using namespace terids::bench;
   ExperimentParams base = BaseParams("Citations");
+  JsonReporter reporter("Figure 11");
   PrintHeader("Figure 11", "pivot selection cost (seconds)", base);
 
   std::printf("\n(a) time vs repository ratio eta (P=10, eMin=1.5)\n");
@@ -47,8 +48,14 @@ int main() {
       Stopwatch watch;
       PivotSelector selector(repo.get(), PivotOptions{});
       std::vector<AttributePivots> pivots = selector.SelectAll();
-      std::printf(" %-11.4f", watch.ElapsedSeconds());
+      const double seconds = watch.ElapsedSeconds();
+      std::printf(" %-11.4f", seconds);
       std::fflush(stdout);
+      reporter.AddRow()
+          .Str("part", "eta")
+          .Str("dataset", name)
+          .Num("eta", eta)
+          .Num("seconds", seconds);
     }
     std::printf("\n");
   }
@@ -72,8 +79,14 @@ int main() {
       Stopwatch watch;
       PivotSelector selector(repo.get(), popts);
       std::vector<AttributePivots> pivots = selector.SelectAll();
-      std::printf(" %-11.4f", watch.ElapsedSeconds());
+      const double seconds = watch.ElapsedSeconds();
+      std::printf(" %-11.4f", seconds);
       std::fflush(stdout);
+      reporter.AddRow()
+          .Str("part", "cnt_max")
+          .Str("dataset", name)
+          .Num("cnt_max", cnt)
+          .Num("seconds", seconds);
     }
     std::printf("\n");
   }

@@ -9,6 +9,7 @@ int main() {
   using namespace terids;
   using namespace terids::bench;
   ExperimentParams base = BaseParams("Citations");
+  JsonReporter reporter("Figure 12");
   PrintHeader("Figure 12", "offline CDD detection time (seconds)", base);
   std::printf("%-10s %14s %12s %14s\n", "dataset", "CDD detect (s)",
               "#CDD rules", "pivot sel (s)");
@@ -18,6 +19,11 @@ int main() {
                 experiment.rule_mining_seconds(), experiment.cdds().size(),
                 experiment.pivot_selection_seconds());
     std::fflush(stdout);
+    reporter.AddRow()
+        .Str("dataset", name)
+        .Num("cdd_detect_seconds", experiment.rule_mining_seconds())
+        .Num("num_rules", static_cast<double>(experiment.cdds().size()))
+        .Num("pivot_select_seconds", experiment.pivot_selection_seconds());
   }
   std::printf(
       "\npaper shape: detection cost grows with repository size (Songs\n"

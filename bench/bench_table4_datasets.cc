@@ -10,6 +10,7 @@ int main() {
   using namespace terids;
   using namespace terids::bench;
   ExperimentParams base = BaseParams("Citations");
+  JsonReporter reporter("Table 4");
   PrintHeader("Table 4", "the tested data sets (generated substitutes)",
               base);
   std::printf("%-10s %10s %12s %12s %12s %14s %6s\n", "dataset",
@@ -27,6 +28,14 @@ int main() {
                 profile.num_attributes(), ds.source_a.size(),
                 ds.source_b.size(), ds.repo_records.size(),
                 ds.ground_truth.size(), params.scale);
+    reporter.AddRow()
+        .Str("dataset", name)
+        .Num("attributes", profile.num_attributes())
+        .Num("source_a", static_cast<double>(ds.source_a.size()))
+        .Num("source_b", static_cast<double>(ds.source_b.size()))
+        .Num("repository", static_cast<double>(ds.repo_records.size()))
+        .Num("planted_pairs", static_cast<double>(ds.ground_truth.size()))
+        .Num("scale", params.scale);
   }
   std::printf(
       "\npaper sizes: Citations 2614/2294 (2224 matches), Anime 4000/4000\n"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# clang-format check over all C++ sources, as run by the CI format-check
+# job. Pass --fix to rewrite files in place instead of checking.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=(--dry-run -Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  mode=(-i)
+fi
+
+if ! command -v clang-format >/dev/null; then
+  echo "error: clang-format not installed" >&2
+  exit 1
+fi
+
+find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 clang-format "${mode[@]}"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs every bench binary in a build tree, teeing stdout tables and writing
+# one JSON document per figure.
+#
+# Usage: scripts/run_benches.sh [build_dir] [out_dir]
+#   TERIDS_BENCH_SCALE  size multiplier forwarded to the benches (default 1.0)
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-bench_results}"
+
+if [[ ! -d "$build_dir" ]]; then
+  echo "error: build dir '$build_dir' not found (run cmake first)" >&2
+  exit 1
+fi
+mkdir -p "$out_dir"
+
+shopt -s nullglob
+ran=0
+for bin in "$build_dir"/bench_*; do
+  [[ -x $bin && ! -d $bin ]] || continue
+  name="$(basename "$bin")"
+  echo "==== $name ===="
+  TERIDS_BENCH_JSON="$out_dir/$name.json" "$bin" | tee "$out_dir/$name.txt"
+  ran=$((ran + 1))
+done
+
+if [[ $ran -eq 0 ]]; then
+  echo "error: no bench binaries in '$build_dir' (build target terids_benches)" >&2
+  exit 1
+fi
+echo "ran $ran benches; results in $out_dir/"

@@ -1,5 +1,7 @@
 #include "datagen/profiles.h"
 
+#include <cstdio>
+
 #include "util/status.h"
 
 namespace terids {
@@ -92,6 +94,12 @@ DatasetProfile ProfileByName(const std::string& name) {
       return p;
     }
   }
+  std::fprintf(stderr, "unknown dataset profile \"%s\"; expected one of:",
+               name.c_str());
+  for (const DatasetProfile& p : AllProfiles()) {
+    std::fprintf(stderr, " %s", p.name.c_str());
+  }
+  std::fprintf(stderr, "\n");
   TERIDS_CHECK(false);
   return DatasetProfile();
 }

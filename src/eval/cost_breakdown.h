@@ -1,6 +1,8 @@
 #ifndef TERIDS_EVAL_COST_BREAKDOWN_H_
 #define TERIDS_EVAL_COST_BREAKDOWN_H_
 
+#include <string>
+
 namespace terids {
 
 /// Per-arrival cost accounting for the break-up analysis of Figure 6:
@@ -21,7 +23,37 @@ struct CostBreakdown {
   }
 
   void Reset() { *this = CostBreakdown(); }
+
+  CostBreakdown& operator+=(const CostBreakdown& other) {
+    Add(other);
+    return *this;
+  }
+
+  /// Uniformly scaled copy; used by PerArrival and sweep normalisation.
+  CostBreakdown Scaled(double factor) const;
+
+  /// Average cost over `arrivals` processed tuples (Figure 6 reports
+  /// ms/arrival). Zero or negative arrival counts yield a zero breakdown.
+  CostBreakdown PerArrival(long long arrivals) const;
+
+  /// Fraction of total time in each phase. All zeros when the total is zero
+  /// so callers never divide by zero.
+  struct Shares {
+    double cdd_select = 0.0;
+    double impute = 0.0;
+    double er = 0.0;
+  };
+  Shares PhaseShares() const;
+
+  /// Flat JSON object, e.g. {"cdd_select_seconds":0.1,...,"total_seconds":
+  /// 0.3}; consumed by the bench harness's TERIDS_BENCH_JSON artifacts.
+  std::string ToJson() const;
 };
+
+inline CostBreakdown operator+(CostBreakdown lhs, const CostBreakdown& rhs) {
+  lhs += rhs;
+  return lhs;
+}
 
 }  // namespace terids
 

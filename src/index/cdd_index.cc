@@ -1,7 +1,8 @@
 #include "index/cdd_index.h"
 
-#include <bit>
 #include <cmath>
+
+#include "util/bits.h"
 
 namespace terids {
 
@@ -54,7 +55,7 @@ int CddIndex::FindOrAddGroup(int dependent, uint32_t det_mask) {
   Group& group = groups_.back();
   group.dependent = dependent;
   group.det_mask = det_mask;
-  group.level = std::popcount(det_mask);
+  group.level = PopCount(det_mask);
   return static_cast<int>(groups_.size()) - 1;
 }
 

@@ -1,0 +1,24 @@
+#ifndef TERIDS_UTIL_BITS_H_
+#define TERIDS_UTIL_BITS_H_
+
+#include <cstdint>
+
+namespace terids {
+
+/// Portable population count for C++17 (std::popcount is C++20).
+inline int PopCount(uint32_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcount(x);
+#else
+  int n = 0;
+  while (x != 0) {
+    x &= x - 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+}  // namespace terids
+
+#endif  // TERIDS_UTIL_BITS_H_

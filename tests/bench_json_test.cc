@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+
+namespace terids {
+namespace bench {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class JsonReporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The expected documents assume the default scale of 1.
+    unsetenv("TERIDS_BENCH_SCALE");
+    path_ = ::testing::TempDir() + "/bench_json_test.json";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    unsetenv("TERIDS_BENCH_JSON");
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(JsonReporterTest, DisabledWithoutEnvVar) {
+  unsetenv("TERIDS_BENCH_JSON");
+  {
+    JsonReporter reporter("Figure X");
+    EXPECT_FALSE(reporter.enabled());
+    reporter.AddRow().Str("dataset", "Citations").Num("f_score", 0.9);
+  }
+  EXPECT_EQ(ReadFile(path_), "");
+}
+
+TEST_F(JsonReporterTest, WritesDocumentOnDestruction) {
+  setenv("TERIDS_BENCH_JSON", path_.c_str(), 1);
+  {
+    JsonReporter reporter("Figure X");
+    EXPECT_TRUE(reporter.enabled());
+    reporter.AddRow().Str("dataset", "Citations").Num("f_score", 0.5);
+    reporter.AddRow().Str("dataset", "Anime").Num("pairs", 42);
+  }
+  EXPECT_EQ(ReadFile(path_),
+            "{\"figure\":\"Figure X\",\"bench_scale\":1,\"rows\":["
+            "{\"dataset\":\"Citations\",\"f_score\":0.5},"
+            "{\"dataset\":\"Anime\",\"pairs\":42}]}\n");
+}
+
+TEST_F(JsonReporterTest, EmptyRunYieldsEmptyRowsArray) {
+  setenv("TERIDS_BENCH_JSON", path_.c_str(), 1);
+  { JsonReporter reporter("Figure Y"); }
+  EXPECT_EQ(ReadFile(path_),
+            "{\"figure\":\"Figure Y\",\"bench_scale\":1,\"rows\":[]}\n");
+}
+
+TEST_F(JsonReporterTest, EscapesQuotesAndBackslashes) {
+  setenv("TERIDS_BENCH_JSON", path_.c_str(), 1);
+  {
+    JsonReporter reporter("Fig \"Q\"");
+    reporter.AddRow().Str("name", "a\\b\"c");
+  }
+  EXPECT_EQ(ReadFile(path_),
+            "{\"figure\":\"Fig \\\"Q\\\"\",\"bench_scale\":1,\"rows\":["
+            "{\"name\":\"a\\\\b\\\"c\"}]}\n");
+}
+
+TEST_F(JsonReporterTest, EscapesControlCharacters) {
+  setenv("TERIDS_BENCH_JSON", path_.c_str(), 1);
+  {
+    JsonReporter reporter("F");
+    reporter.AddRow().Str("name", "a\nb\tc");
+  }
+  EXPECT_EQ(ReadFile(path_),
+            "{\"figure\":\"F\",\"bench_scale\":1,\"rows\":["
+            "{\"name\":\"a\\u000ab\\u0009c\"}]}\n");
+}
+
+TEST_F(JsonReporterTest, RowReferencesSurviveLaterAddRowCalls) {
+  setenv("TERIDS_BENCH_JSON", path_.c_str(), 1);
+  {
+    JsonReporter reporter("F");
+    JsonReporter::Row& first = reporter.AddRow();
+    for (int i = 0; i < 100; ++i) {
+      reporter.AddRow().Num("i", i);
+    }
+    first.Num("late", 7);  // must not dangle despite 100 later rows
+  }
+  EXPECT_NE(ReadFile(path_).find("{\"late\":7}"), std::string::npos);
+}
+
+TEST_F(JsonReporterTest, RawSplicesPreRenderedJson) {
+  setenv("TERIDS_BENCH_JSON", path_.c_str(), 1);
+  {
+    JsonReporter reporter("Figure Z");
+    reporter.AddRow().Str("dataset", "Bikes").Raw("cost", "{\"er\":1.5}");
+  }
+  EXPECT_EQ(ReadFile(path_),
+            "{\"figure\":\"Figure Z\",\"bench_scale\":1,\"rows\":["
+            "{\"dataset\":\"Bikes\",\"cost\":{\"er\":1.5}}]}\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace terids
