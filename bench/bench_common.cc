@@ -20,6 +20,21 @@ double EnvScale() {
   return v > 0 ? v : 1.0;
 }
 
+namespace {
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) {
+    return fallback;
+  }
+  const int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
+}  // namespace
+
+int EnvBatchSize() { return EnvInt("TERIDS_BENCH_BATCH", 1); }
+
+int EnvRefineThreads() { return EnvInt("TERIDS_BENCH_THREADS", 1); }
+
 ExperimentParams BaseParams(const std::string& dataset) {
   ExperimentParams params;
   // Per-dataset size scale: preserves the relative ordering of Table 4
@@ -32,6 +47,8 @@ ExperimentParams BaseParams(const std::string& dataset) {
   params.w = static_cast<int>(200 * EnvScale());  // paper default w = 1000
   if (params.w < 40) params.w = 40;
   params.max_arrivals = 4 * params.w;
+  params.batch_size = EnvBatchSize();
+  params.refine_threads = EnvRefineThreads();
   return params;
 }
 
@@ -142,9 +159,11 @@ void PrintHeader(const std::string& figure, const std::string& title,
   std::printf("==== %s: %s ====\n", figure.c_str(), title.c_str());
   std::printf(
       "defaults (Table 5, scaled): alpha=%.1f rho=%.1f xi=%.1f eta=%.1f "
-      "w=%d m=%d scale=%.3f arrivals=%d bench_scale=%.2f\n",
+      "w=%d m=%d scale=%.3f arrivals=%d bench_scale=%.2f batch=%d "
+      "threads=%d\n",
       params.alpha, params.rho, params.xi, params.eta, params.w, params.m,
-      params.scale, params.max_arrivals, EnvScale());
+      params.scale, params.max_arrivals, EnvScale(), params.batch_size,
+      params.refine_threads);
 }
 
 namespace {

@@ -17,6 +17,14 @@ namespace bench {
 /// values > 1 approach the paper's sizes at the cost of wall time.
 double EnvScale();
 
+/// Execution-model knobs from TERIDS_BENCH_BATCH / TERIDS_BENCH_THREADS
+/// (defaults 1/1 = the classic one-at-a-time operator). Every bench that
+/// replays arrivals through Experiment::Run inherits them via BaseParams,
+/// so any figure can be reproduced under micro-batching + parallel
+/// refinement without code changes.
+int EnvBatchSize();
+int EnvRefineThreads();
+
 /// Baseline parameters for one dataset: Table 5 defaults with sizes scaled
 /// so the full suite finishes on one core (see EXPERIMENTS.md §Scaling).
 /// Paper -> bench mapping: w 1000 -> 200, arrivals capped at 800, dataset

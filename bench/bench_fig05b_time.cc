@@ -21,13 +21,19 @@ int main() {
     Experiment experiment(ProfileByName(name), BaseParams(name));
     std::printf("%-10s", name.c_str());
     for (PipelineKind kind : AllPipelines()) {
+      // Arrivals replay through the batched operator (ProcessBatch via
+      // StreamDriver::NextBatch); with the default 1/1 knobs this is the
+      // classic one-at-a-time pipeline.
       PipelineRun run = experiment.Run(kind);
       std::printf(" %10.4f", 1e3 * run.avg_arrival_seconds);
       std::fflush(stdout);
       reporter.AddRow()
           .Str("dataset", name)
           .Str("pipeline", PipelineKindName(kind))
-          .Num("ms_per_arrival", 1e3 * run.avg_arrival_seconds);
+          .Num("batch_size", EnvBatchSize())
+          .Num("refine_threads", EnvRefineThreads())
+          .Num("ms_per_arrival", 1e3 * run.avg_arrival_seconds)
+          .Raw("cost", run.total_cost.PerArrival(run.arrivals).ToJson());
     }
     std::printf("\n");
   }

@@ -1,10 +1,16 @@
 // Google-benchmark microbenchmarks of the hot primitives: Jaccard over
-// interned token sets, aR-tree range queries, ER-grid insert/probe, and
-// end-to-end TER-iDS arrival processing.
+// interned token sets, aR-tree range queries, and end-to-end TER-iDS
+// arrival processing (one-at-a-time and micro-batched + parallel).
+//
+// Results additionally flow through the shared JsonReporter (set
+// TERIDS_BENCH_JSON) by bridging Google Benchmark's reporter interface, so
+// this bench emits the same machine-readable artifacts as every
+// custom-output bench.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/terids_engine.h"
@@ -69,15 +75,20 @@ void BM_ArTreeRangeQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_ArTreeRangeQuery)->Arg(1000)->Arg(10000);
 
-void BM_TerIdsArrival(benchmark::State& state) {
+Experiment* SharedCitationsExperiment() {
   using namespace terids::bench;
   ExperimentParams params = BaseParams("Citations");
   params.max_arrivals = 1;  // Offline phase only in the fixture.
   static Experiment* experiment =
       new Experiment(ProfileByName("Citations"), params);
+  return experiment;
+}
+
+void BM_TerIdsArrival(benchmark::State& state) {
+  Experiment* experiment = SharedCitationsExperiment();
   std::unique_ptr<Repository> repo = experiment->BuildRepository();
-  TerIdsEngine engine(repo.get(), experiment->MakeConfig(), 2,
-                      experiment->cdds());
+  auto engine = std::make_unique<TerIdsEngine>(
+      repo.get(), experiment->MakeConfig(), 2, experiment->cdds());
   std::vector<Record> inc_a = DataGenerator::WithMissing(
       experiment->dataset().source_a, 0.3, 1, 1);
   std::vector<Record> inc_b = DataGenerator::WithMissing(
@@ -85,15 +96,88 @@ void BM_TerIdsArrival(benchmark::State& state) {
   StreamDriver driver({inc_a, inc_b});
   for (auto _ : state) {
     if (!driver.HasNext()) {
+      // Replaying the stream re-feeds rids that may still be
+      // window-resident; restart the engine with it.
       state.PauseTiming();
       driver.Reset();
+      engine = std::make_unique<TerIdsEngine>(
+          repo.get(), experiment->MakeConfig(), 2, experiment->cdds());
       state.ResumeTiming();
     }
-    benchmark::DoNotOptimize(engine.ProcessArrival(driver.Next()));
+    benchmark::DoNotOptimize(engine->ProcessArrival(driver.Next()));
   }
 }
 BENCHMARK(BM_TerIdsArrival);
 
+// Micro-batched arrival processing; range(0) = batch size, range(1) =
+// refinement threads. Reported per arrival for comparability with
+// BM_TerIdsArrival.
+void BM_TerIdsArrivalBatch(benchmark::State& state) {
+  Experiment* experiment = SharedCitationsExperiment();
+  const int batch_size = static_cast<int>(state.range(0));
+  std::unique_ptr<Repository> repo = experiment->BuildRepository();
+  EngineConfig config = experiment->MakeConfig();
+  config.batch_size = batch_size;
+  config.refine_threads = static_cast<int>(state.range(1));
+  auto engine = std::make_unique<TerIdsEngine>(repo.get(), config, 2,
+                                               experiment->cdds());
+  std::vector<Record> inc_a = DataGenerator::WithMissing(
+      experiment->dataset().source_a, 0.3, 1, 1);
+  std::vector<Record> inc_b = DataGenerator::WithMissing(
+      experiment->dataset().source_b, 0.3, 1, 2);
+  StreamDriver driver({inc_a, inc_b});
+  size_t arrivals = 0;
+  for (auto _ : state) {
+    if (driver.remaining() < static_cast<size_t>(batch_size)) {
+      state.PauseTiming();
+      driver.Reset();
+      engine = std::make_unique<TerIdsEngine>(repo.get(), config, 2,
+                                              experiment->cdds());
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(
+        engine->ProcessBatch(driver.NextBatch(batch_size)));
+    arrivals += batch_size;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(arrivals));
+}
+BENCHMARK(BM_TerIdsArrivalBatch)
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->Args({32, 4});
+
+/// Forwards every finished run into the shared bench JSON artifact while
+/// delegating the human-readable table to the stock console reporter.
+class JsonBridgeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonBridgeReporter(terids::bench::JsonReporter* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      json_->AddRow()
+          .Str("name", run.benchmark_name())
+          .Num("iterations", static_cast<double>(run.iterations))
+          .Num("real_time_ns", run.GetAdjustedRealTime())
+          .Num("cpu_time_ns", run.GetAdjustedCPUTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  terids::bench::JsonReporter* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  terids::bench::JsonReporter json("micro_primitives");
+  JsonBridgeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

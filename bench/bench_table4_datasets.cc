@@ -1,4 +1,6 @@
-// Table 4: the tested (generated) data sets — sizes and planted matches.
+// Table 4: the tested (generated) data sets — sizes and planted matches —
+// plus a TER-iDS arrival-throughput column measured through the batched
+// operator (TERIDS_BENCH_BATCH / TERIDS_BENCH_THREADS knobs).
 
 #include <cstdio>
 
@@ -13,21 +15,23 @@ int main() {
   JsonReporter reporter("Table 4");
   PrintHeader("Table 4", "the tested data sets (generated substitutes)",
               base);
-  std::printf("%-10s %10s %12s %12s %12s %14s %6s\n", "dataset",
+  std::printf("%-10s %10s %12s %12s %12s %14s %6s %12s\n", "dataset",
               "attributes", "|SourceA|", "|SourceB|", "|repository|",
-              "planted pairs", "scale");
+              "planted pairs", "scale", "arrivals/s");
   for (const std::string& name : AllDatasets()) {
     const DatasetProfile profile = ProfileByName(name);
     ExperimentParams params = BaseParams(name);
-    DataGenerator::Options opts;
-    opts.scale = params.scale;
-    opts.repo_ratio = params.eta;
-    opts.seed = params.seed;
-    GeneratedDataset ds = DataGenerator::Generate(profile, opts);
-    std::printf("%-10s %10d %12zu %12zu %12zu %14zu %6.3f\n", name.c_str(),
-                profile.num_attributes(), ds.source_a.size(),
+    Experiment experiment(profile, params);
+    const GeneratedDataset& ds = experiment.dataset();
+    PipelineRun run = experiment.Run(PipelineKind::kTerIds);
+    const double throughput =
+        run.total_seconds > 0
+            ? static_cast<double>(run.arrivals) / run.total_seconds
+            : 0.0;
+    std::printf("%-10s %10d %12zu %12zu %12zu %14zu %6.3f %12.1f\n",
+                name.c_str(), profile.num_attributes(), ds.source_a.size(),
                 ds.source_b.size(), ds.repo_records.size(),
-                ds.ground_truth.size(), params.scale);
+                ds.ground_truth.size(), params.scale, throughput);
     reporter.AddRow()
         .Str("dataset", name)
         .Num("attributes", profile.num_attributes())
@@ -35,7 +39,10 @@ int main() {
         .Num("source_b", static_cast<double>(ds.source_b.size()))
         .Num("repository", static_cast<double>(ds.repo_records.size()))
         .Num("planted_pairs", static_cast<double>(ds.ground_truth.size()))
-        .Num("scale", params.scale);
+        .Num("scale", params.scale)
+        .Num("batch_size", EnvBatchSize())
+        .Num("refine_threads", EnvRefineThreads())
+        .Num("terids_arrivals_per_sec", throughput);
   }
   std::printf(
       "\npaper sizes: Citations 2614/2294 (2224 matches), Anime 4000/4000\n"

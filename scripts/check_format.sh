@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # clang-format check over all C++ sources, as run by the CI format-check
-# job. Pass --fix to rewrite files in place instead of checking.
+# job. Pass --fix to rewrite files in place instead of checking. The
+# CLANG_FORMAT environment variable selects the binary (the CI job pins a
+# major version with it, e.g. CLANG_FORMAT=clang-format-15).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+clang_format="${CLANG_FORMAT:-clang-format}"
 
 mode=(--dry-run -Werror)
 if [[ "${1:-}" == "--fix" ]]; then
   mode=(-i)
 fi
 
-if ! command -v clang-format >/dev/null; then
-  echo "error: clang-format not installed" >&2
+if ! command -v "$clang_format" >/dev/null; then
+  echo "error: $clang_format not installed" >&2
   exit 1
 fi
 
 find src tests bench examples \
   \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
-  xargs -0 clang-format "${mode[@]}"
+  xargs -0 "$clang_format" "${mode[@]}"

@@ -1,0 +1,60 @@
+#ifndef TERIDS_CORE_ARRIVAL_CONTEXT_H_
+#define TERIDS_CORE_ARRIVAL_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "er/match_set.h"
+#include "er/pruning.h"
+#include "eval/cost_breakdown.h"
+#include "stream/sliding_window.h"
+#include "tuple/record.h"
+
+namespace terids {
+
+/// What one arrival produced.
+struct ArrivalOutcome {
+  /// Pairs newly added to the result set ES by this arrival.
+  std::vector<MatchPair> new_matches;
+  /// Break-up cost of this arrival (Figure 6).
+  CostBreakdown cost;
+  /// Pair pruning statistics of this arrival (Figure 4).
+  PruneStats stats;
+};
+
+/// Typed state flowing through the arrival pipeline's phases
+/// (ImputePhase -> CandidatePhase -> RefinePhase -> MaintainPhase). Each
+/// phase reads the fields earlier phases filled and writes its own; the
+/// batched operator keeps one context per batch arrival so refinement can
+/// be deferred and executed across the whole batch at once.
+struct ArrivalContext {
+  explicit ArrivalContext(const Record& r) : record(r) {}
+
+  /// The arriving record (stream id and timestamp stamped).
+  Record record;
+
+  // --- ImputePhase outputs ------------------------------------------------
+  /// The imputed probabilistic tuple.
+  std::shared_ptr<const ImputedTuple> tuple;
+  /// Window-resident wrapper (tuple + topic classification).
+  std::shared_ptr<WindowTuple> wt;
+
+  // --- CandidatePhase outputs ---------------------------------------------
+  /// Surviving candidates after grid / linear generation. Raw pointers into
+  /// window tuples; in batched mode `evicted` below keeps candidates a
+  /// later batch arrival expires alive until refinement has run.
+  std::vector<const WindowTuple*> candidates;
+
+  // --- MaintainPhase outputs ----------------------------------------------
+  /// The tuple this arrival expired from its stream's window (null if the
+  /// window had room). In batched mode the result-set eviction cascade for
+  /// it is replayed in arrival order after deferred refinement.
+  std::shared_ptr<WindowTuple> evicted;
+
+  /// Accumulated result of this arrival.
+  ArrivalOutcome out;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_CORE_ARRIVAL_CONTEXT_H_

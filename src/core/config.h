@@ -37,6 +37,13 @@ struct EngineConfig {
   int max_candidates_per_attr = 8;
   /// ER-grid cell side length in the converted space [0,1].
   double cell_width = 0.2;
+  /// Micro-batch size callers should feed ProcessBatch (StreamDriver::
+  /// NextBatch). 1 = the classic one-arrival-at-a-time operator.
+  int batch_size = 1;
+  /// Worker count for the post-pruning refinement cascade. 1 = inline
+  /// sequential refinement. The defaults (1/1) keep pipeline output and
+  /// execution bit-for-bit identical to the unbatched operator.
+  int refine_threads = 1;
 };
 
 }  // namespace terids

@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
 #include "er/probability.h"
 #include "util/stopwatch.h"
 
@@ -16,6 +18,8 @@ PipelineBase::PipelineBase(Repository* repo, EngineConfig config,
   TERIDS_CHECK(repo != nullptr);
   TERIDS_CHECK(repo->has_pivots());
   TERIDS_CHECK(num_streams >= 2);
+  TERIDS_CHECK(config_.batch_size >= 1);
+  TERIDS_CHECK(config_.refine_threads >= 1);
   windows_.reserve(num_streams);
   for (int i = 0; i < num_streams; ++i) {
     windows_.emplace_back(config_.window_size);
@@ -54,99 +58,212 @@ std::vector<const WindowTuple*> PipelineBase::LinearCandidates(
   return out;
 }
 
-ArrivalOutcome PipelineBase::ProcessArrival(const Record& r) {
+RefinementExecutor* PipelineBase::refiner() {
+  if (refiner_ == nullptr) {
+    refiner_ = std::make_unique<RefinementExecutor>(config_.refine_threads);
+  }
+  return refiner_.get();
+}
+
+// --- Phases ----------------------------------------------------------------
+
+void PipelineBase::ImputePhase(ArrivalContext* ctx) {
+  const Record& r = ctx->record;
   TERIDS_CHECK(r.stream_id >= 0 &&
                r.stream_id < static_cast<int>(windows_.size()));
-  ArrivalOutcome out;
-
   if (imputer_ != nullptr) {
     imputer_->OnArrival(r);
   }
-
-  // --- Imputation phase (Algorithm 2 lines 8-10) -----------------------
   const ProbeCoords pc = ProbeCoords::Compute(r, *repo_);
-  std::shared_ptr<const ImputedTuple> tuple;
   if (r.IsComplete()) {
-    tuple = std::make_shared<const ImputedTuple>(
+    ctx->tuple = std::make_shared<const ImputedTuple>(
         ImputedTuple::FromComplete(r, repo_));
   } else {
     std::vector<ImputedTuple::ImputedAttr> imputed =
-        Impute(r, pc, &out.cost);
-    tuple = std::make_shared<const ImputedTuple>(ImputedTuple::FromImputation(
-        r, repo_, std::move(imputed), config_.max_instances));
+        Impute(r, pc, &ctx->out.cost);
+    ctx->tuple = std::make_shared<const ImputedTuple>(
+        ImputedTuple::FromImputation(r, repo_, std::move(imputed),
+                                     config_.max_instances));
   }
-  auto wt = std::make_shared<WindowTuple>();
-  wt->tuple = tuple;
-  wt->topic = topic_.Classify(*tuple);
+  ctx->wt = std::make_shared<WindowTuple>();
+  ctx->wt->tuple = ctx->tuple;
+  ctx->wt->topic = topic_.Classify(*ctx->tuple);
+}
 
-  // --- ER phase (Algorithm 2 lines 14-26) ------------------------------
-  {
-    ScopedTimer timer(&out.cost.er_seconds);
-    const bool topic_constrained = !topic_.IsUnconstrained();
-    std::vector<const WindowTuple*> candidates;
-    if (grid_ != nullptr) {
-      ErGrid::CandidateResult grid_result =
-          grid_->Candidates(*wt, config_.gamma, topic_constrained);
-      candidates = std::move(grid_result.candidates);
-      // Grid-level prunes are Theorem 4.1 / Theorem 4.2 kills; account for
-      // them in this arrival's pair statistics.
-      out.stats.total_pairs +=
-          grid_result.topic_pruned + grid_result.sim_pruned;
-      out.stats.topic_pruned += grid_result.topic_pruned;
-      out.stats.sim_ub_pruned += grid_result.sim_pruned;
-    } else {
-      candidates = LinearCandidates(*wt, &out.stats);
-    }
-
-    for (const WindowTuple* cand : candidates) {
-      if (use_prunings_) {
-        double prob = 0.0;
-        const PairOutcome outcome =
-            EvaluatePair(*tuple, wt->topic, *cand->tuple, cand->topic,
-                         config_.gamma, config_.alpha, &out.stats, &prob);
-        if (outcome == PairOutcome::kMatched) {
-          matches_.Add(tuple->rid(), cand->rid(), prob);
-          MatchPair pair;
-          pair.rid_a = std::min(tuple->rid(), cand->rid());
-          pair.rid_b = std::max(tuple->rid(), cand->rid());
-          pair.probability = prob;
-          out.new_matches.push_back(pair);
-        }
-      } else {
-        ++out.stats.total_pairs;
-        ++out.stats.refined;
-        const double prob = ExactProbability(*tuple, wt->topic, *cand->tuple,
-                                             cand->topic, config_.gamma);
-        if (prob > config_.alpha) {
-          ++out.stats.matched;
-          matches_.Add(tuple->rid(), cand->rid(), prob);
-          MatchPair pair;
-          pair.rid_a = std::min(tuple->rid(), cand->rid());
-          pair.rid_b = std::max(tuple->rid(), cand->rid());
-          pair.probability = prob;
-          out.new_matches.push_back(pair);
-        }
-      }
-    }
-  }
-  cum_stats_.Add(out.stats);
-
-  // --- Window maintenance (Algorithm 2 lines 2-7, 11-13) ---------------
+void PipelineBase::CandidatePhase(ArrivalContext* ctx) {
   if (grid_ != nullptr) {
-    grid_->Insert(wt.get());
+    const bool topic_constrained = !topic_.IsUnconstrained();
+    ErGrid::CandidateResult grid_result =
+        grid_->Candidates(*ctx->wt, config_.gamma, topic_constrained);
+    ctx->candidates = std::move(grid_result.candidates);
+    // Grid-level prunes are Theorem 4.1 / Theorem 4.2 kills; account for
+    // them in this arrival's pair statistics.
+    ctx->out.stats.total_pairs +=
+        grid_result.topic_pruned + grid_result.sim_pruned;
+    ctx->out.stats.topic_pruned += grid_result.topic_pruned;
+    ctx->out.stats.sim_ub_pruned += grid_result.sim_pruned;
+  } else {
+    ctx->candidates = LinearCandidates(*ctx->wt, &ctx->out.stats);
+  }
+}
+
+void PipelineBase::ApplyEvaluation(ArrivalContext* ctx,
+                                   const WindowTuple* cand,
+                                   const PairEvaluation& eval) {
+  ctx->out.stats.Record(eval.outcome);
+  if (!eval.matched()) {
+    return;
+  }
+  const int64_t rid = ctx->tuple->rid();
+  matches_.Add(rid, cand->rid(), eval.probability);
+  MatchPair pair;
+  pair.rid_a = std::min(rid, cand->rid());
+  pair.rid_b = std::max(rid, cand->rid());
+  pair.probability = eval.probability;
+  ctx->out.new_matches.push_back(pair);
+}
+
+void PipelineBase::RefinePhase(ArrivalContext* ctx) {
+  ScopedTimer timer(&ctx->out.cost.refine_seconds);
+  if (config_.refine_threads <= 1) {
+    // Sequential fast path: no task materialization, no dispatch — the
+    // classic per-candidate loop.
+    for (const WindowTuple* cand : ctx->candidates) {
+      RefinementExecutor::Task task;
+      task.probe = ctx->tuple.get();
+      task.probe_topic = &ctx->wt->topic;
+      task.candidate = cand;
+      const PairEvaluation eval = RefinementExecutor::Evaluate(
+          task, use_prunings_, config_.gamma, config_.alpha);
+      ApplyEvaluation(ctx, cand, eval);
+    }
+    return;
+  }
+  std::vector<RefinementExecutor::Task> tasks;
+  tasks.reserve(ctx->candidates.size());
+  for (const WindowTuple* cand : ctx->candidates) {
+    tasks.push_back({ctx->tuple.get(), &ctx->wt->topic, cand});
+  }
+  std::vector<PairEvaluation> evals;
+  refiner()->Run(tasks, use_prunings_, config_.gamma, config_.alpha, &evals);
+  for (size_t i = 0; i < ctx->candidates.size(); ++i) {
+    ApplyEvaluation(ctx, ctx->candidates[i], evals[i]);
+  }
+}
+
+void PipelineBase::MaintainPhase(ArrivalContext* ctx,
+                                 bool defer_result_eviction) {
+  if (grid_ != nullptr) {
+    grid_->Insert(ctx->wt.get());
   }
   std::shared_ptr<WindowTuple> evicted =
-      windows_[r.stream_id].Push(std::move(wt));
+      windows_[ctx->record.stream_id].Push(ctx->wt);
   if (evicted != nullptr) {
     if (grid_ != nullptr) {
       grid_->Remove(evicted.get());
     }
-    matches_.RemoveAllWith(evicted->rid());
+    if (!defer_result_eviction) {
+      matches_.RemoveAllWith(evicted->rid());
+    }
     if (imputer_ != nullptr) {
       imputer_->OnEvict(evicted->tuple->base());
     }
+    ctx->evicted = std::move(evicted);
   }
-  return out;
+}
+
+// --- Operators -------------------------------------------------------------
+
+ArrivalOutcome PipelineBase::ProcessArrival(const Record& r) {
+  ArrivalContext ctx(r);
+  ImputePhase(&ctx);
+  {
+    ScopedTimer timer(&ctx.out.cost.er_seconds);
+    CandidatePhase(&ctx);
+    RefinePhase(&ctx);
+  }
+  cum_stats_.Add(ctx.out.stats);
+  MaintainPhase(&ctx, /*defer_result_eviction=*/false);
+  return std::move(ctx.out);
+}
+
+std::vector<ArrivalOutcome> PipelineBase::ProcessBatch(
+    const std::vector<Record>& batch) {
+  std::vector<ArrivalOutcome> outcomes;
+  outcomes.reserve(batch.size());
+  if (batch.size() <= 1) {
+    for (const Record& r : batch) {
+      outcomes.push_back(ProcessArrival(r));
+    }
+    return outcomes;
+  }
+
+  double batch_wall = 0.0;
+  std::vector<ArrivalContext> ctxs;
+  ctxs.reserve(batch.size());
+  {
+    ScopedTimer batch_timer(&batch_wall);
+    // Impute / candidates / maintain per arrival, in arrival order, with
+    // refinement deferred: the window, grid, and imputer state each batch
+    // arrival observes is exactly what sequential processing would have
+    // left behind (intra-batch pairs included), while the expensive pair
+    // cascade is pulled out into one batch-wide parallel task set.
+    size_t total_tasks = 0;
+    for (const Record& r : batch) {
+      ctxs.emplace_back(r);
+      ArrivalContext& ctx = ctxs.back();
+      ImputePhase(&ctx);
+      {
+        ScopedTimer timer(&ctx.out.cost.er_seconds);
+        CandidatePhase(&ctx);
+      }
+      MaintainPhase(&ctx, /*defer_result_eviction=*/true);
+      total_tasks += ctx.candidates.size();
+    }
+
+    std::vector<RefinementExecutor::Task> tasks;
+    tasks.reserve(total_tasks);
+    for (ArrivalContext& ctx : ctxs) {
+      for (const WindowTuple* cand : ctx.candidates) {
+        tasks.push_back({ctx.tuple.get(), &ctx.wt->topic, cand});
+      }
+    }
+    double refine_wall = 0.0;
+    std::vector<PairEvaluation> evals;
+    {
+      ScopedTimer timer(&refine_wall);
+      refiner()->Run(tasks, use_prunings_, config_.gamma, config_.alpha,
+                     &evals);
+    }
+
+    // Replay in arrival order: evaluations fold into each arrival's stats
+    // and the result set in candidate order, then the arrival's deferred
+    // result-set eviction runs — the exact sequential interleaving of
+    // match insertion and expiration.
+    size_t cursor = 0;
+    for (ArrivalContext& ctx : ctxs) {
+      for (const WindowTuple* cand : ctx.candidates) {
+        ApplyEvaluation(&ctx, cand, evals[cursor++]);
+      }
+      cum_stats_.Add(ctx.out.stats);
+      if (ctx.evicted != nullptr) {
+        matches_.RemoveAllWith(ctx.evicted->rid());
+      }
+      const double share =
+          total_tasks == 0
+              ? 0.0
+              : refine_wall * static_cast<double>(ctx.candidates.size()) /
+                    static_cast<double>(total_tasks);
+      ctx.out.cost.refine_seconds += share;
+      ctx.out.cost.er_seconds += share;
+    }
+  }
+  for (ArrivalContext& ctx : ctxs) {
+    ctx.out.cost.batch_seconds +=
+        batch_wall / static_cast<double>(batch.size());
+    outcomes.push_back(std::move(ctx.out));
+  }
+  return outcomes;
 }
 
 }  // namespace terids

@@ -5,11 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "core/arrival_context.h"
 #include "core/config.h"
 #include "er/match_set.h"
 #include "er/pruning.h"
 #include "er/topic.h"
 #include "eval/cost_breakdown.h"
+#include "exec/refinement_executor.h"
 #include "imputation/imputer.h"
 #include "index/dr_index.h"
 #include "repo/repository.h"
@@ -20,32 +22,54 @@
 
 namespace terids {
 
-/// What one arrival produced.
-struct ArrivalOutcome {
-  /// Pairs newly added to the result set ES by this arrival.
-  std::vector<MatchPair> new_matches;
-  /// Break-up cost of this arrival (Figure 6).
-  CostBreakdown cost;
-  /// Pair pruning statistics of this arrival (Figure 4).
-  PruneStats stats;
-};
-
 /// Common interface of the TER-iDS engine and all baselines: an online
-/// operator that consumes one stream arrival at a time and continuously
-/// maintains the TER-iDS result set ES (Algorithm 1).
+/// operator that consumes stream arrivals — one at a time or in
+/// timestamp-ordered micro-batches — and continuously maintains the
+/// TER-iDS result set ES (Algorithm 1).
 class ErPipeline {
  public:
   virtual ~ErPipeline() = default;
   virtual const std::string& name() const = 0;
   virtual ArrivalOutcome ProcessArrival(const Record& r) = 0;
+
+  /// Processes a timestamp-ordered micro-batch (StreamDriver::NextBatch)
+  /// and returns one outcome per record, in arrival order. Semantically
+  /// identical to calling ProcessArrival on each record in order — the
+  /// default does exactly that; PipelineBase overrides it to amortize work
+  /// across the batch and refine candidate pairs in parallel.
+  virtual std::vector<ArrivalOutcome> ProcessBatch(
+      const std::vector<Record>& batch) {
+    std::vector<ArrivalOutcome> outcomes;
+    outcomes.reserve(batch.size());
+    for (const Record& r : batch) {
+      outcomes.push_back(ProcessArrival(r));
+    }
+    return outcomes;
+  }
+
   virtual const MatchSet& results() const = 0;
   virtual const PruneStats& cumulative_stats() const = 0;
 };
 
 /// Shared implementation: sliding windows, optional ER-grid, result-set
-/// maintenance with eviction cascade, and the refinement loop. Subclasses
-/// override the imputation hook (and inherit either the grid-based or
-/// linear candidate generation depending on configuration).
+/// maintenance with eviction cascade, and the refinement loop, decomposed
+/// into four explicit phases (DESIGN.md §6):
+///
+///   ImputePhase    — probe coordinates, imputation, topic classification
+///   CandidatePhase — ER-grid probe or linear window scan
+///   RefinePhase    — the Theorem 4.1-4.4 cascade / exact refinement
+///   MaintainPhase  — grid + window insertion, eviction cascade
+///
+/// ProcessArrival runs the phases back-to-back for one record; the batched
+/// operator runs impute/candidates/maintain per record in arrival order
+/// (so intra-batch pairs and evictions behave exactly as in sequential
+/// processing), defers all pair refinement into one batch-wide task set,
+/// executes it on the RefinementExecutor, and replays match insertion and
+/// result-set eviction in arrival order. Output is bit-for-bit identical
+/// to sequential processing for every batch_size / refine_threads setting.
+///
+/// Subclasses override the imputation hook (and inherit either the
+/// grid-based or linear candidate generation depending on configuration).
 class PipelineBase : public ErPipeline {
  public:
   /// `num_streams` windows are created. If `use_grid`, candidates come from
@@ -58,6 +82,8 @@ class PipelineBase : public ErPipeline {
 
   const std::string& name() const override { return name_; }
   ArrivalOutcome ProcessArrival(const Record& r) override;
+  std::vector<ArrivalOutcome> ProcessBatch(
+      const std::vector<Record>& batch) override;
   const MatchSet& results() const override { return matches_; }
   const PruneStats& cumulative_stats() const override { return cum_stats_; }
 
@@ -70,6 +96,23 @@ class PipelineBase : public ErPipeline {
   virtual std::vector<ImputedTuple::ImputedAttr> Impute(const Record& r,
                                                         const ProbeCoords& pc,
                                                         CostBreakdown* cost);
+
+  // --- Arrival pipeline phases (Algorithm 2) -----------------------------
+
+  /// Lines 8-10: probe coordinates, imputation, topic classification.
+  void ImputePhase(ArrivalContext* ctx);
+  /// Lines 14-16: candidate generation (grid probe or linear scan); grid
+  /// cell-level kills are charged to the arrival's PruneStats.
+  void CandidatePhase(ArrivalContext* ctx);
+  /// Lines 17-26: sequential pair cascade over the candidates, folding
+  /// evaluations into the arrival's stats and the result set immediately.
+  void RefinePhase(ArrivalContext* ctx);
+  /// Lines 2-7, 11-13: grid + window insertion and the eviction cascade.
+  /// When `defer_result_eviction`, the expired tuple's MatchSet removal is
+  /// left to the caller (batched mode replays it after deferred
+  /// refinement, in arrival order) and the tuple is parked in
+  /// `ctx->evicted` so deferred refine tasks can still dereference it.
+  void MaintainPhase(ArrivalContext* ctx, bool defer_result_eviction);
 
   Repository* repo_;
   EngineConfig config_;
@@ -85,6 +128,14 @@ class PipelineBase : public ErPipeline {
  private:
   std::vector<const WindowTuple*> LinearCandidates(const WindowTuple& probe,
                                                    PruneStats* stats) const;
+  /// Folds one pair evaluation into the arrival's outcome and, on a match,
+  /// the result set (the single place MatchPairs are constructed).
+  void ApplyEvaluation(ArrivalContext* ctx, const WindowTuple* cand,
+                       const PairEvaluation& eval);
+  /// Lazily constructed parallel refiner (config_.refine_threads workers).
+  RefinementExecutor* refiner();
+
+  std::unique_ptr<RefinementExecutor> refiner_;
 };
 
 /// Constructs one of the six evaluated pipelines. The rule vectors are

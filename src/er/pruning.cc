@@ -2,52 +2,48 @@
 
 #include "er/bounds.h"
 #include "er/probability.h"
-#include "util/status.h"
 
 namespace terids {
 
-PairOutcome EvaluatePair(const ImputedTuple& a,
-                         const TopicQuery::TupleTopic& a_topic,
-                         const ImputedTuple& b,
-                         const TopicQuery::TupleTopic& b_topic, double gamma,
-                         double alpha, PruneStats* stats, double* prob_out) {
-  TERIDS_CHECK(stats != nullptr);
-  ++stats->total_pairs;
+PairEvaluation EvaluatePair(const ImputedTuple& a,
+                            const TopicQuery::TupleTopic& a_topic,
+                            const ImputedTuple& b,
+                            const TopicQuery::TupleTopic& b_topic,
+                            double gamma, double alpha) {
+  PairEvaluation eval;
 
   // Theorem 4.1: no instance of either tuple contains a query keyword.
   if (!a_topic.any && !b_topic.any) {
-    ++stats->topic_pruned;
-    return PairOutcome::kTopicPruned;
+    eval.outcome = PairOutcome::kTopicPruned;
+    return eval;
   }
 
   // Theorem 4.2 via Lemmas 4.1 and 4.2.
   if (UbSim(a, b) <= gamma) {
-    ++stats->sim_ub_pruned;
-    return PairOutcome::kSimUbPruned;
+    eval.outcome = PairOutcome::kSimUbPruned;
+    return eval;
   }
 
   // Theorem 4.3 via Lemma 4.3.
   if (UbProbPaleyZygmund(a, b, gamma) <= alpha) {
-    ++stats->prob_ub_pruned;
-    return PairOutcome::kProbUbPruned;
+    eval.outcome = PairOutcome::kProbUbPruned;
+    return eval;
   }
 
   // Refinement with Theorem 4.4 early termination.
   RefineResult refine =
       RefineProbability(a, a_topic, b, b_topic, gamma, alpha);
   if (refine.early_pruned) {
-    ++stats->instance_pruned;
-    return PairOutcome::kInstancePruned;
+    eval.outcome = PairOutcome::kInstancePruned;
+    return eval;
   }
-  ++stats->refined;
   if (refine.probability > alpha) {
-    ++stats->matched;
-    if (prob_out != nullptr) {
-      *prob_out = refine.probability;
-    }
-    return PairOutcome::kMatched;
+    eval.outcome = PairOutcome::kMatched;
+    eval.probability = refine.probability;
+    return eval;
   }
-  return PairOutcome::kRefuted;
+  eval.outcome = PairOutcome::kRefuted;
+  return eval;
 }
 
 }  // namespace terids

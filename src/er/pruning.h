@@ -8,6 +8,16 @@
 
 namespace terids {
 
+/// Outcome of evaluating one candidate tuple pair.
+enum class PairOutcome {
+  kTopicPruned,     // Theorem 4.1
+  kSimUbPruned,     // Theorem 4.2 (Lemmas 4.1 / 4.2)
+  kProbUbPruned,    // Theorem 4.3 (Lemma 4.3)
+  kInstancePruned,  // Theorem 4.4 early termination below alpha
+  kRefuted,         // fully refined, probability <= alpha
+  kMatched,         // probability > alpha
+};
+
 /// Per-strategy pruning counters, reported as the "pruning power" of
 /// Figure 4. Counters are at tuple-pair granularity and strategies are
 /// applied in the paper's order: topic keyword (Theorem 4.1), similarity
@@ -33,6 +43,35 @@ struct PruneStats {
     matched += other.matched;
   }
 
+  /// Folds one pair evaluation into the counters. This is the only way the
+  /// pipeline mutates stats: evaluation itself is stateless (EvaluatePair
+  /// returns a value), so callers — including parallel refinement workers'
+  /// consumers — thread their own accumulator explicitly.
+  void Record(PairOutcome outcome) {
+    ++total_pairs;
+    switch (outcome) {
+      case PairOutcome::kTopicPruned:
+        ++topic_pruned;
+        break;
+      case PairOutcome::kSimUbPruned:
+        ++sim_ub_pruned;
+        break;
+      case PairOutcome::kProbUbPruned:
+        ++prob_ub_pruned;
+        break;
+      case PairOutcome::kInstancePruned:
+        ++instance_pruned;
+        break;
+      case PairOutcome::kRefuted:
+        ++refined;
+        break;
+      case PairOutcome::kMatched:
+        ++refined;
+        ++matched;
+        break;
+    }
+  }
+
   double PowerOf(uint64_t count) const {
     return total_pairs == 0
                ? 0.0
@@ -44,25 +83,26 @@ struct PruneStats {
   }
 };
 
-/// Outcome of evaluating one candidate tuple pair.
-enum class PairOutcome {
-  kTopicPruned,     // Theorem 4.1
-  kSimUbPruned,     // Theorem 4.2 (Lemmas 4.1 / 4.2)
-  kProbUbPruned,    // Theorem 4.3 (Lemma 4.3)
-  kInstancePruned,  // Theorem 4.4 early termination below alpha
-  kRefuted,         // fully refined, probability <= alpha
-  kMatched,         // probability > alpha
+/// Value result of one pair evaluation: the cascade outcome plus, for a
+/// match, the (possibly partial, see RefineResult) probability.
+struct PairEvaluation {
+  PairOutcome outcome = PairOutcome::kRefuted;
+  /// Meaningful only when `outcome == kMatched`.
+  double probability = 0.0;
+
+  bool matched() const { return outcome == PairOutcome::kMatched; }
 };
 
 /// Applies the four pruning strategies in the paper's order and, if none
-/// fires, refines the exact probability. Updates `stats` (which must not be
-/// null) and writes the (possibly partial, see RefineResult) probability to
-/// `prob_out` when the outcome is kMatched.
-PairOutcome EvaluatePair(const ImputedTuple& a,
-                         const TopicQuery::TupleTopic& a_topic,
-                         const ImputedTuple& b,
-                         const TopicQuery::TupleTopic& b_topic, double gamma,
-                         double alpha, PruneStats* stats, double* prob_out);
+/// fires, refines the exact probability. Pure function of its arguments —
+/// no shared mutable state — so concurrent calls on distinct or identical
+/// pairs are safe; callers fold the returned evaluation into their own
+/// PruneStats via PruneStats::Record.
+PairEvaluation EvaluatePair(const ImputedTuple& a,
+                            const TopicQuery::TupleTopic& a_topic,
+                            const ImputedTuple& b,
+                            const TopicQuery::TupleTopic& b_topic,
+                            double gamma, double alpha);
 
 }  // namespace terids
 

@@ -9,6 +9,8 @@ CostBreakdown CostBreakdown::Scaled(double factor) const {
   out.cdd_select_seconds = cdd_select_seconds * factor;
   out.impute_seconds = impute_seconds * factor;
   out.er_seconds = er_seconds * factor;
+  out.refine_seconds = refine_seconds * factor;
+  out.batch_seconds = batch_seconds * factor;
   return out;
 }
 
@@ -32,12 +34,13 @@ CostBreakdown::Shares CostBreakdown::PhaseShares() const {
 }
 
 std::string CostBreakdown::ToJson() const {
-  char buf[192];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"cdd_select_seconds\":%.9g,\"impute_seconds\":%.9g,"
-                "\"er_seconds\":%.9g,\"total_seconds\":%.9g}",
+                "\"er_seconds\":%.9g,\"refine_seconds\":%.9g,"
+                "\"batch_seconds\":%.9g,\"total_seconds\":%.9g}",
                 cdd_select_seconds, impute_seconds, er_seconds,
-                total_seconds());
+                refine_seconds, batch_seconds, total_seconds());
   return std::string(buf);
 }
 

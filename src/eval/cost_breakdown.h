@@ -11,6 +11,14 @@ struct CostBreakdown {
   double cdd_select_seconds = 0.0;
   double impute_seconds = 0.0;
   double er_seconds = 0.0;
+  /// Pair-refinement wall time (the RefinementExecutor's task set in
+  /// batched/parallel mode). Contained in `er_seconds`, so it is an
+  /// overlay metric, not a fourth additive phase.
+  double refine_seconds = 0.0;
+  /// Wall time of the whole batched operator attributed evenly across the
+  /// batch's arrivals. Overlaps the three phases; zero in one-at-a-time
+  /// processing.
+  double batch_seconds = 0.0;
 
   double total_seconds() const {
     return cdd_select_seconds + impute_seconds + er_seconds;
@@ -20,6 +28,8 @@ struct CostBreakdown {
     cdd_select_seconds += other.cdd_select_seconds;
     impute_seconds += other.impute_seconds;
     er_seconds += other.er_seconds;
+    refine_seconds += other.refine_seconds;
+    batch_seconds += other.batch_seconds;
   }
 
   void Reset() { *this = CostBreakdown(); }

@@ -141,13 +141,24 @@ EngineConfig Experiment::MakeConfig() const {
   config.max_instances = params_.max_instances;
   config.max_candidates_per_attr = params_.max_candidates_per_attr;
   config.cell_width = params_.cell_width;
+  config.batch_size = params_.batch_size;
+  config.refine_threads = params_.refine_threads;
   return config;
 }
 
 PipelineRun Experiment::Run(PipelineKind kind) {
+  return Run(kind, params_.batch_size, params_.refine_threads);
+}
+
+PipelineRun Experiment::Run(PipelineKind kind, int batch_size,
+                            int refine_threads) {
+  TERIDS_CHECK(batch_size >= 1);
   std::unique_ptr<Repository> repo = BuildRepository();
+  EngineConfig config = MakeConfig();
+  config.batch_size = batch_size;
+  config.refine_threads = refine_threads;
   std::unique_ptr<ErPipeline> pipeline = MakePipeline(
-      kind, repo.get(), MakeConfig(), /*num_streams=*/2, cdds_, dds_, editing_);
+      kind, repo.get(), config, /*num_streams=*/2, cdds_, dds_, editing_);
   TERIDS_CHECK(pipeline != nullptr);
 
   PipelineRun run;
@@ -157,13 +168,15 @@ PipelineRun Experiment::Run(PipelineKind kind) {
   const size_t cap = ArrivalCap();
   std::vector<MatchPair> all_matches;
   Stopwatch total_watch;
-  for (size_t i = 0; i < cap && driver.HasNext(); ++i) {
-    const Record r = driver.Next();
-    ArrivalOutcome outcome = pipeline->ProcessArrival(r);
-    run.total_cost.Add(outcome.cost);
-    all_matches.insert(all_matches.end(), outcome.new_matches.begin(),
-                       outcome.new_matches.end());
-    ++run.arrivals;
+  while (run.arrivals < cap && driver.HasNext()) {
+    const std::vector<Record> batch = driver.NextBatch(
+        std::min<size_t>(batch_size, cap - run.arrivals));
+    for (ArrivalOutcome& outcome : pipeline->ProcessBatch(batch)) {
+      run.total_cost.Add(outcome.cost);
+      all_matches.insert(all_matches.end(), outcome.new_matches.begin(),
+                         outcome.new_matches.end());
+      ++run.arrivals;
+    }
   }
   run.total_seconds = total_watch.ElapsedSeconds();
   run.avg_arrival_seconds =

@@ -34,6 +34,9 @@ struct ExperimentParams {
   int max_instances = 16;
   int max_candidates_per_attr = 8;
   double cell_width = 0.2;
+  /// Execution-model knobs (defaults reproduce one-at-a-time processing).
+  int batch_size = 1;
+  int refine_threads = 1;
 };
 
 /// One pipeline's measured run.
@@ -57,7 +60,15 @@ class Experiment {
  public:
   Experiment(const DatasetProfile& profile, const ExperimentParams& params);
 
+  /// Replays the arrival sequence through the pipeline's batched operator
+  /// (micro-batches of params().batch_size via StreamDriver::NextBatch;
+  /// with the default batch_size=1 / refine_threads=1 this is exactly the
+  /// one-at-a-time operator).
   PipelineRun Run(PipelineKind kind);
+  /// Same run with the execution-model knobs overridden; dataset, rules,
+  /// and ground truth are shared, so scaling benches can sweep batch and
+  /// thread settings without rebuilding the experiment.
+  PipelineRun Run(PipelineKind kind, int batch_size, int refine_threads);
 
   const GeneratedDataset& dataset() const { return dataset_; }
   const ExperimentParams& params() const { return params_; }

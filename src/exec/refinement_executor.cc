@@ -1,0 +1,60 @@
+#include "exec/refinement_executor.h"
+
+#include <algorithm>
+
+#include "er/probability.h"
+
+namespace terids {
+
+RefinementExecutor::RefinementExecutor(int num_threads)
+    : pool_(num_threads) {}
+
+RefinementExecutor::~RefinementExecutor() = default;
+
+PairEvaluation RefinementExecutor::Evaluate(const Task& task,
+                                            bool use_prunings, double gamma,
+                                            double alpha) {
+  const WindowTuple& cand = *task.candidate;
+  if (use_prunings) {
+    return EvaluatePair(*task.probe, *task.probe_topic, *cand.tuple,
+                        cand.topic, gamma, alpha);
+  }
+  // Unpruned baselines: every pair is fully refined with the exact
+  // probability, matching the sequential unpruned loop bit-for-bit.
+  PairEvaluation eval;
+  eval.probability = ExactProbability(*task.probe, *task.probe_topic,
+                                      *cand.tuple, cand.topic, gamma);
+  eval.outcome = eval.probability > alpha ? PairOutcome::kMatched
+                                          : PairOutcome::kRefuted;
+  return eval;
+}
+
+void RefinementExecutor::Run(const std::vector<Task>& tasks,
+                             bool use_prunings, double gamma, double alpha,
+                             std::vector<PairEvaluation>* evaluations) {
+  const int64_t n = static_cast<int64_t>(tasks.size());
+  evaluations->resize(tasks.size());
+  if (n == 0) {
+    return;
+  }
+  if (pool_.concurrency() == 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      (*evaluations)[i] = Evaluate(tasks[i], use_prunings, gamma, alpha);
+    }
+    return;
+  }
+  // Contiguous shards, several per worker so an expensive stretch of pairs
+  // (deep instance cross products) does not serialize the whole batch.
+  const int64_t shard_size = std::max<int64_t>(
+      1, n / (static_cast<int64_t>(pool_.concurrency()) * 4));
+  const int64_t num_shards = (n + shard_size - 1) / shard_size;
+  pool_.ParallelFor(num_shards, [&](int64_t shard) {
+    const int64_t begin = shard * shard_size;
+    const int64_t end = std::min(n, begin + shard_size);
+    for (int64_t i = begin; i < end; ++i) {
+      (*evaluations)[i] = Evaluate(tasks[i], use_prunings, gamma, alpha);
+    }
+  });
+}
+
+}  // namespace terids

@@ -1,0 +1,59 @@
+#ifndef TERIDS_EXEC_REFINEMENT_EXECUTOR_H_
+#define TERIDS_EXEC_REFINEMENT_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "er/pruning.h"
+#include "exec/thread_pool.h"
+#include "stream/sliding_window.h"
+
+namespace terids {
+
+/// Parallel evaluation of the post-candidate-generation pair cascade
+/// (Theorems 4.1-4.4 plus exact refinement), the embarrassingly parallel
+/// part of the arrival pipeline: every pair evaluation reads only immutable
+/// tuple state and the repository, so pairs shard freely across workers.
+///
+/// Determinism contract: `Run` fills `evaluations[i]` for `tasks[i]` — each
+/// worker owns a disjoint contiguous shard of the task array and writes
+/// only its own slots, so the result is independent of scheduling. The
+/// caller folds the per-pair evaluations into PruneStats / the match set in
+/// task (candidate) order, which reproduces the sequential loop exactly.
+class RefinementExecutor {
+ public:
+  /// One pair to evaluate: an arriving probe tuple against one window
+  /// candidate. Pointees must stay alive and unmodified for the duration of
+  /// Run (the batched pipeline holds shared_ptrs for evicted candidates).
+  struct Task {
+    const ImputedTuple* probe = nullptr;
+    const TopicQuery::TupleTopic* probe_topic = nullptr;
+    const WindowTuple* candidate = nullptr;
+  };
+
+  /// `num_threads` <= 1 evaluates inline on the caller (no pool).
+  explicit RefinementExecutor(int num_threads);
+  ~RefinementExecutor();
+
+  /// Evaluates a single pair — the unit of work every worker runs, also
+  /// usable directly by the sequential refinement loop (no task vector, no
+  /// dispatch).
+  static PairEvaluation Evaluate(const Task& task, bool use_prunings,
+                                 double gamma, double alpha);
+
+  int num_threads() const { return pool_.concurrency(); }
+
+  /// Evaluates every task. With `use_prunings` the full cascade runs
+  /// (EvaluatePair); without it the exact probability is always computed,
+  /// reproducing the unpruned baselines. `evaluations` is resized to
+  /// `tasks.size()`.
+  void Run(const std::vector<Task>& tasks, bool use_prunings, double gamma,
+           double alpha, std::vector<PairEvaluation>* evaluations);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_EXEC_REFINEMENT_EXECUTOR_H_

@@ -1,0 +1,92 @@
+#include "exec/thread_pool.h"
+
+#include "util/status.h"
+
+namespace terids {
+
+ThreadPool::ThreadPool(int concurrency)
+    : concurrency_(concurrency < 1 ? 1 : concurrency) {
+  workers_.reserve(concurrency_ - 1);
+  for (int i = 0; i < concurrency_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this, seen_epoch] {
+        return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = job_epoch_;
+    }
+    DrainCurrentJob();
+  }
+}
+
+void ThreadPool::DrainCurrentJob() {
+  while (true) {
+    int64_t task;
+    const std::function<void(int64_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_ == nullptr || next_task_ >= tasks_total_) {
+        return;
+      }
+      task = next_task_++;
+      fn = job_;
+    }
+    (*fn)(task);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++tasks_finished_ == tasks_total_) {
+        job_ = nullptr;
+        job_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t num_tasks,
+                             const std::function<void(int64_t)>& fn) {
+  if (num_tasks <= 0) {
+    return;
+  }
+  if (concurrency_ == 1 || num_tasks == 1) {
+    for (int64_t i = 0; i < num_tasks; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TERIDS_CHECK(job_ == nullptr);  // one ParallelFor at a time
+    job_ = &fn;
+    ++job_epoch_;
+    next_task_ = 0;
+    tasks_total_ = num_tasks;
+    tasks_finished_ = 0;
+  }
+  work_ready_.notify_all();
+  DrainCurrentJob();  // the caller participates
+  std::unique_lock<std::mutex> lock(mu_);
+  job_done_.wait(lock, [this] { return job_ == nullptr; });
+}
+
+}  // namespace terids

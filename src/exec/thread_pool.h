@@ -1,0 +1,65 @@
+#ifndef TERIDS_EXEC_THREAD_POOL_H_
+#define TERIDS_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace terids {
+
+/// A fixed-size, work-stealing-free thread pool for fork/join parallelism.
+///
+/// `ThreadPool(n)` provides a concurrency level of n: n - 1 persistent
+/// worker threads plus the calling thread, which participates in every
+/// ParallelFor instead of blocking idle. A pool of size <= 1 spawns no
+/// threads at all and runs everything inline on the caller, so the
+/// single-threaded configuration has zero synchronization overhead and is
+/// bit-for-bit the sequential execution.
+///
+/// Tasks within one ParallelFor are claimed from a shared atomic-style
+/// cursor under the pool mutex (no per-worker deques, no stealing); which
+/// thread runs which task is nondeterministic, so callers that need
+/// deterministic output must write results into per-task slots, as
+/// RefinementExecutor does.
+class ThreadPool {
+ public:
+  /// `concurrency` <= 1 means inline execution (no worker threads).
+  explicit ThreadPool(int concurrency);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency level (worker threads + the caller).
+  int concurrency() const { return concurrency_; }
+
+  /// Runs fn(i) for every i in [0, num_tasks), distributing tasks over the
+  /// workers and the calling thread, and returns when all calls finished.
+  /// Not reentrant and not thread-safe: one ParallelFor at a time.
+  void ParallelFor(int64_t num_tasks, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs tasks of the current job until none are left.
+  void DrainCurrentJob();
+
+  const int concurrency_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  const std::function<void(int64_t)>* job_ = nullptr;  // null = no job
+  uint64_t job_epoch_ = 0;
+  int64_t next_task_ = 0;
+  int64_t tasks_total_ = 0;
+  int64_t tasks_finished_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_EXEC_THREAD_POOL_H_

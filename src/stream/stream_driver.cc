@@ -1,5 +1,7 @@
 #include "stream/stream_driver.h"
 
+#include <algorithm>
+
 #include "util/status.h"
 
 namespace terids {
@@ -31,6 +33,15 @@ Record StreamDriver::Next() {
   }
   TERIDS_CHECK(false);  // HasNext() guaranteed an arrival.
   return Record();
+}
+
+std::vector<Record> StreamDriver::NextBatch(size_t max_records) {
+  std::vector<Record> batch;
+  batch.reserve(std::min(max_records, remaining()));
+  while (batch.size() < max_records && HasNext()) {
+    batch.push_back(Next());
+  }
+  return batch;
 }
 
 void StreamDriver::Reset() {

@@ -24,6 +24,12 @@ class StreamDriver {
   /// Next arriving record (stream id and timestamp already stamped).
   Record Next();
 
+  /// Next micro-batch: up to `max_records` arrivals in global timestamp
+  /// order (the batched operator's unit of work). Returns fewer records
+  /// only when the sources run dry; empty once exhausted. Equivalent to
+  /// calling Next() `max_records` times.
+  std::vector<Record> NextBatch(size_t max_records);
+
   /// Remaining arrivals.
   size_t remaining() const { return total_ - emitted_; }
   size_t total() const { return total_; }

@@ -1,13 +1,21 @@
-// Parameterized end-to-end soundness sweep: across combinations of
-// (alpha, rho, xi), the fully indexed + pruned TER-iDS engine must report
-// exactly the same pair set as the unindexed, unpruned CDD+ER baseline.
-// This is the strongest property the system has — every index, synopsis,
-// bound, and pruning theorem changes cost, never results — checked over a
-// grid of query parameters rather than a single configuration.
+// Parameterized end-to-end soundness sweeps.
+//
+// 1. Across combinations of (alpha, rho, xi), the fully indexed + pruned
+//    TER-iDS engine must report exactly the same pair set as the
+//    unindexed, unpruned CDD+ER baseline. This is the strongest property
+//    the system has — every index, synopsis, bound, and pruning theorem
+//    changes cost, never results — checked over a grid of query
+//    parameters rather than a single configuration.
+// 2. Across every datagen profile and (batch_size, refine_threads)
+//    combination, the batched/parallel operator (ProcessBatch +
+//    RefinementExecutor) must be bit-identical to one-at-a-time
+//    ProcessArrival: same per-arrival matches in the same order, same
+//    final MatchSet, same cumulative PruneStats.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <tuple>
 
 #include "core/pipeline.h"
@@ -68,6 +76,117 @@ INSTANTIATE_TEST_SUITE_P(
                       Combo{0.5, 0.7, 0.3}, Combo{0.5, 0.5, 0.0},
                       Combo{0.5, 0.5, 0.6}, Combo{0.2, 0.4, 0.5},
                       Combo{0.7, 0.6, 0.2}));
+
+// --- Batched / parallel operator equivalence -------------------------------
+
+using BatchCombo = std::tuple<std::string, int, int>;  // profile, batch, thr
+
+class BatchEquivalenceSweepTest
+    : public ::testing::TestWithParam<BatchCombo> {};
+
+struct ReplayResult {
+  std::vector<std::pair<int64_t, int64_t>> emitted;  // in emission order
+  std::vector<MatchPair> final_set;                  // sorted snapshot
+  PruneStats stats;
+};
+
+void ExpectSameStats(const PruneStats& a, const PruneStats& b) {
+  EXPECT_EQ(a.total_pairs, b.total_pairs);
+  EXPECT_EQ(a.topic_pruned, b.topic_pruned);
+  EXPECT_EQ(a.sim_ub_pruned, b.sim_ub_pruned);
+  EXPECT_EQ(a.prob_ub_pruned, b.prob_ub_pruned);
+  EXPECT_EQ(a.instance_pruned, b.instance_pruned);
+  EXPECT_EQ(a.refined, b.refined);
+  EXPECT_EQ(a.matched, b.matched);
+}
+
+TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
+  const auto [profile, batch_size, refine_threads] = GetParam();
+  ExperimentParams params;
+  // Per-profile scale mirrors bench::BaseParams ratios: EBooks (long token
+  // sets) and Songs (the 1M-tuple dataset) blow up wall time at a uniform
+  // scale without adding coverage.
+  params.scale = 0.04;
+  if (profile == "EBooks") params.scale = 0.012;
+  if (profile == "Songs") params.scale = 0.002;
+  params.w = 50;
+  params.max_arrivals = 220;
+  Experiment experiment(ProfileByName(profile), params);
+
+  // The TER-iDS engine covers grid candidates + the pruning cascade; the
+  // con+ER baseline covers linear candidates, the unpruned exact path, and
+  // a stateful stream imputer whose OnArrival/OnEvict ordering the batched
+  // operator must reproduce.
+  for (PipelineKind kind :
+       {PipelineKind::kTerIds, PipelineKind::kConstraintEr}) {
+    auto replay = [&](int bs, int threads) {
+      std::unique_ptr<Repository> repo = experiment.BuildRepository();
+      EngineConfig config = experiment.MakeConfig();
+      config.batch_size = bs;
+      config.refine_threads = threads;
+      std::unique_ptr<ErPipeline> pipeline =
+          MakePipeline(kind, repo.get(), config, 2, experiment.cdds(),
+                       experiment.dds(), experiment.editing_rules());
+      std::vector<Record> inc_a = DataGenerator::WithMissing(
+          experiment.dataset().source_a, params.xi, params.m, params.seed);
+      std::vector<Record> inc_b = DataGenerator::WithMissing(
+          experiment.dataset().source_b, params.xi, params.m,
+          params.seed + 1);
+      StreamDriver driver({inc_a, inc_b});
+      ReplayResult result;
+      size_t arrivals = 0;
+      const size_t cap = static_cast<size_t>(params.max_arrivals);
+      while (arrivals < cap && driver.HasNext()) {
+        const std::vector<Record> batch =
+            driver.NextBatch(std::min<size_t>(bs, cap - arrivals));
+        for (const ArrivalOutcome& out : pipeline->ProcessBatch(batch)) {
+          for (const MatchPair& p : out.new_matches) {
+            result.emitted.emplace_back(p.rid_a, p.rid_b);
+          }
+        }
+        arrivals += batch.size();
+      }
+      result.final_set = pipeline->results().ToVector();
+      result.stats = pipeline->cumulative_stats();
+      return result;
+    };
+
+    const ReplayResult sequential = replay(1, 1);
+    const ReplayResult batched = replay(batch_size, refine_threads);
+    EXPECT_EQ(batched.emitted, sequential.emitted)
+        << profile << " " << PipelineKindName(kind) << " batch=" << batch_size
+        << " threads=" << refine_threads;
+    ASSERT_EQ(batched.final_set.size(), sequential.final_set.size());
+    for (size_t i = 0; i < batched.final_set.size(); ++i) {
+      EXPECT_EQ(batched.final_set[i].rid_a, sequential.final_set[i].rid_a);
+      EXPECT_EQ(batched.final_set[i].rid_b, sequential.final_set[i].rid_b);
+      EXPECT_DOUBLE_EQ(batched.final_set[i].probability,
+                       sequential.final_set[i].probability);
+    }
+    ExpectSameStats(batched.stats, sequential.stats);
+  }
+}
+
+std::vector<BatchCombo> BatchCombos() {
+  std::vector<BatchCombo> combos;
+  for (const char* profile :
+       {"Citations", "Anime", "Bikes", "EBooks", "Songs"}) {
+    for (const auto& [batch, threads] :
+         std::vector<std::pair<int, int>>{{1, 4}, {8, 1}, {8, 4}}) {
+      combos.emplace_back(profile, batch, threads);
+    }
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, BatchEquivalenceSweepTest,
+                         ::testing::ValuesIn(BatchCombos()),
+                         [](const ::testing::TestParamInfo<BatchCombo>& info) {
+                           return std::get<0>(info.param) + "_b" +
+                                  std::to_string(std::get<1>(info.param)) +
+                                  "_t" +
+                                  std::to_string(std::get<2>(info.param));
+                         });
 
 }  // namespace
 }  // namespace terids

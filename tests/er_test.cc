@@ -198,11 +198,13 @@ TEST_P(BoundsPropertyTest, EvaluatePairNeverPrunesARealMatch) {
     const double gamma = 2.0;
     const double alpha = 0.4;
     const double exact = ExactProbability(a, ta, b, tb, gamma);
-    double prob = 0.0;
-    const PairOutcome outcome =
-        EvaluatePair(a, ta, b, tb, gamma, alpha, &stats, &prob);
-    EXPECT_EQ(outcome == PairOutcome::kMatched, exact > alpha)
+    const PairEvaluation eval = EvaluatePair(a, ta, b, tb, gamma, alpha);
+    stats.Record(eval.outcome);
+    EXPECT_EQ(eval.matched(), exact > alpha)
         << "pruning changed the decision (exact=" << exact << ")";
+    if (eval.matched()) {
+      EXPECT_GT(eval.probability, alpha);
+    }
   }
   EXPECT_EQ(stats.total_pairs, 80u);
 }

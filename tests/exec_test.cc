@@ -1,0 +1,154 @@
+// Unit tests of the src/exec subsystem: the fixed-size ThreadPool and the
+// RefinementExecutor's determinism contract (parallel evaluation must be
+// indistinguishable from the sequential pair loop).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "er/probability.h"
+#include "er/pruning.h"
+#include "er/topic.h"
+#include "exec/refinement_executor.h"
+#include "exec/thread_pool.h"
+#include "test_util.h"
+
+namespace terids {
+namespace {
+
+using testing_util::MakeHealthWorld;
+using testing_util::ToyWorld;
+
+TEST(ThreadPoolTest, InlineWhenConcurrencyIsOne) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(5, [&](int64_t i) { order.push_back(i); });
+  // Single-threaded execution is strictly in task order on the caller.
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4);
+  constexpr int kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.ParallelFor(kTasks, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(round, [&](int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), static_cast<int64_t>(round) * (round - 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeTaskCountsAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t) { ++calls; });
+  pool.ParallelFor(-3, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+class RefinementExecutorTest : public ::testing::Test {
+ protected:
+  RefinementExecutorTest() : world_(MakeHealthWorld()) {}
+
+  /// Window tuple over a complete toy record.
+  std::shared_ptr<WindowTuple> MakeTuple(
+      int64_t rid, const std::vector<std::string>& texts,
+      const TopicQuery& topic) {
+    auto wt = std::make_shared<WindowTuple>();
+    wt->tuple = std::make_shared<const ImputedTuple>(
+        ImputedTuple::FromComplete(world_.Make(rid, texts), world_.repo.get()));
+    wt->topic = topic.Classify(*wt->tuple);
+    return wt;
+  }
+
+  ToyWorld world_;
+};
+
+TEST_F(RefinementExecutorTest, ParallelEqualsSequentialOnBothCascades) {
+  TopicQuery topic(*world_.dict, {"diabetes", "flu"});
+  // A probe against a spread of candidates: exact duplicates (matches),
+  // near misses, topic-less tuples (topic-pruned), disjoint tuples
+  // (similarity-pruned).
+  std::vector<std::vector<std::string>> texts = {
+      {"male", "fever cough", "flu", "drink more"},
+      {"male", "fever cough headache", "flu", "drink more"},
+      {"female", "red eye itchy", "conjunctivitis", "eye drop"},
+      {"male", "loss of weight", "diabetes", "dietary therapy"},
+      {"female", "fever low spirit", "pneumonia", "antibiotics"},
+  };
+  std::shared_ptr<WindowTuple> probe =
+      MakeTuple(1, {"male", "fever cough", "flu", "drink more"}, topic);
+  std::vector<std::shared_ptr<WindowTuple>> cands;
+  std::vector<RefinementExecutor::Task> tasks;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    for (int rep = 0; rep < 13; ++rep) {  // enough tasks to shard
+      cands.push_back(
+          MakeTuple(static_cast<int64_t>(100 + cands.size()), texts[i], topic));
+      tasks.push_back(
+          {probe->tuple.get(), &probe->topic, cands.back().get()});
+    }
+  }
+
+  for (bool use_prunings : {true, false}) {
+    RefinementExecutor sequential(1);
+    RefinementExecutor parallel(4);
+    std::vector<PairEvaluation> seq_evals;
+    std::vector<PairEvaluation> par_evals;
+    sequential.Run(tasks, use_prunings, 2.0, 0.4, &seq_evals);
+    parallel.Run(tasks, use_prunings, 2.0, 0.4, &par_evals);
+    ASSERT_EQ(seq_evals.size(), tasks.size());
+    ASSERT_EQ(par_evals.size(), tasks.size());
+    PruneStats seq_stats;
+    PruneStats par_stats;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_EQ(par_evals[i].outcome, seq_evals[i].outcome) << "task " << i;
+      EXPECT_DOUBLE_EQ(par_evals[i].probability, seq_evals[i].probability)
+          << "task " << i;
+      seq_stats.Record(seq_evals[i].outcome);
+      par_stats.Record(par_evals[i].outcome);
+    }
+    EXPECT_EQ(seq_stats.total_pairs, tasks.size());
+    EXPECT_EQ(par_stats.matched, seq_stats.matched);
+    EXPECT_EQ(par_stats.refined, seq_stats.refined);
+  }
+}
+
+TEST_F(RefinementExecutorTest, EmptyTaskSetYieldsEmptyEvaluations) {
+  RefinementExecutor executor(4);
+  std::vector<PairEvaluation> evals(3);
+  executor.Run({}, /*use_prunings=*/true, 2.0, 0.5, &evals);
+  EXPECT_TRUE(evals.empty());
+}
+
+TEST(PruneStatsTest, RecordReproducesTheSequentialCounters) {
+  PruneStats stats;
+  stats.Record(PairOutcome::kTopicPruned);
+  stats.Record(PairOutcome::kSimUbPruned);
+  stats.Record(PairOutcome::kProbUbPruned);
+  stats.Record(PairOutcome::kInstancePruned);
+  stats.Record(PairOutcome::kRefuted);
+  stats.Record(PairOutcome::kMatched);
+  EXPECT_EQ(stats.total_pairs, 6u);
+  EXPECT_EQ(stats.topic_pruned, 1u);
+  EXPECT_EQ(stats.sim_ub_pruned, 1u);
+  EXPECT_EQ(stats.prob_ub_pruned, 1u);
+  EXPECT_EQ(stats.instance_pruned, 1u);
+  EXPECT_EQ(stats.refined, 2u);  // refuted + matched both reach refinement
+  EXPECT_EQ(stats.matched, 1u);
+}
+
+}  // namespace
+}  // namespace terids

@@ -96,6 +96,49 @@ TEST(StreamDriverTest, RoundRobinInterleavesAndStampsTimestamps) {
   EXPECT_EQ(order[4], (std::pair<int, int64_t>{1, 12}));
 }
 
+TEST(StreamDriverTest, NextBatchMatchesRepeatedNext) {
+  ToyWorld world = MakeHealthWorld();
+  std::vector<Record> a = {world.Make(1, {"m", "f", "g", "h"}),
+                           world.Make(2, {"m", "f", "g", "h"}),
+                           world.Make(3, {"m", "f", "g", "h"})};
+  std::vector<Record> b = {world.Make(10, {"m", "f", "g", "h"}),
+                           world.Make(11, {"m", "f", "g", "h"})};
+  StreamDriver sequential({a, b});
+  std::vector<std::pair<int64_t, int64_t>> expect;
+  while (sequential.HasNext()) {
+    Record r = sequential.Next();
+    expect.emplace_back(r.rid, r.timestamp);
+  }
+
+  StreamDriver batched({a, b});
+  std::vector<std::pair<int64_t, int64_t>> got;
+  while (batched.HasNext()) {
+    std::vector<Record> batch = batched.NextBatch(2);
+    EXPECT_GE(batch.size(), 1u);
+    EXPECT_LE(batch.size(), 2u);
+    for (const Record& r : batch) {
+      got.emplace_back(r.rid, r.timestamp);
+    }
+  }
+  EXPECT_EQ(got, expect);
+  // Timestamp-ordered within and across batches.
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].second, got[i - 1].second + 1);
+  }
+}
+
+TEST(StreamDriverTest, NextBatchTruncatesAtExhaustionAndThenIsEmpty) {
+  ToyWorld world = MakeHealthWorld();
+  std::vector<Record> a = {world.Make(1, {"m", "f", "g", "h"})};
+  std::vector<Record> b = {world.Make(2, {"m", "f", "g", "h"}),
+                           world.Make(3, {"m", "f", "g", "h"})};
+  StreamDriver driver({a, b});
+  EXPECT_EQ(driver.NextBatch(8).size(), 3u);
+  EXPECT_FALSE(driver.HasNext());
+  EXPECT_TRUE(driver.NextBatch(8).empty());
+  EXPECT_TRUE(driver.NextBatch(0).empty());
+}
+
 TEST(StreamDriverTest, ResetReplaysIdentically) {
   ToyWorld world = MakeHealthWorld();
   std::vector<Record> a = {world.Make(1, {"m", "f", "g", "h"})};
