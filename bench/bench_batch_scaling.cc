@@ -22,6 +22,9 @@ int main() {
   using namespace terids;
   using namespace terids::bench;
   JsonReporter reporter("batch_scaling");
+  // Shard / queue knobs ride along from the environment (the sweep axes
+  // here stay batch x threads; bench_shard_scaling sweeps the other two).
+  const ExecKnobs env_knobs = EnvExecKnobs();
   const std::vector<std::pair<int, int>> grid = {
       {1, 1}, {8, 1}, {1, 4}, {8, 4}};
   const std::vector<PipelineKind> kinds = {PipelineKind::kTerIds,
@@ -62,11 +65,12 @@ int main() {
                     name.c_str(), PipelineKindName(kind), batch, threads,
                     1e3 * run.avg_arrival_seconds, throughput, speedup);
         std::fflush(stdout);
-        reporter.AddRow()
+        ExecKnobs knobs = env_knobs;
+        knobs.batch_size = batch;
+        knobs.refine_threads = threads;
+        reporter.AddKnobRow(knobs)
             .Str("dataset", name)
             .Str("pipeline", PipelineKindName(kind))
-            .Num("batch_size", batch)
-            .Num("refine_threads", threads)
             .Num("ms_per_arrival", 1e3 * run.avg_arrival_seconds)
             .Num("arrivals_per_sec", throughput)
             .Num("speedup_vs_1x1", speedup)

@@ -20,20 +20,23 @@ double EnvScale() {
   return v > 0 ? v : 1.0;
 }
 
-namespace {
-int EnvInt(const char* name, int fallback) {
+int EnvInt(const char* name, int fallback, int min_value) {
   const char* env = std::getenv(name);
-  if (env == nullptr) {
+  if (env == nullptr || env[0] == '\0') {
     return fallback;
   }
   const int v = std::atoi(env);
-  return v > 0 ? v : fallback;
+  return v >= min_value ? v : fallback;
 }
-}  // namespace
 
-int EnvBatchSize() { return EnvInt("TERIDS_BENCH_BATCH", 1); }
-
-int EnvRefineThreads() { return EnvInt("TERIDS_BENCH_THREADS", 1); }
+ExecKnobs EnvExecKnobs() {
+  ExecKnobs knobs;
+  knobs.batch_size = EnvInt("TERIDS_BENCH_BATCH", 1, 1);
+  knobs.refine_threads = EnvInt("TERIDS_BENCH_THREADS", 1, 1);
+  knobs.grid_shards = EnvInt("TERIDS_BENCH_SHARDS", 1, 1);
+  knobs.ingest_queue_depth = EnvInt("TERIDS_BENCH_QUEUE", 0, 0);
+  return knobs;
+}
 
 ExperimentParams BaseParams(const std::string& dataset) {
   ExperimentParams params;
@@ -47,8 +50,11 @@ ExperimentParams BaseParams(const std::string& dataset) {
   params.w = static_cast<int>(200 * EnvScale());  // paper default w = 1000
   if (params.w < 40) params.w = 40;
   params.max_arrivals = 4 * params.w;
-  params.batch_size = EnvBatchSize();
-  params.refine_threads = EnvRefineThreads();
+  const ExecKnobs knobs = EnvExecKnobs();
+  params.batch_size = knobs.batch_size;
+  params.refine_threads = knobs.refine_threads;
+  params.grid_shards = knobs.grid_shards;
+  params.ingest_queue_depth = knobs.ingest_queue_depth;
   return params;
 }
 
@@ -137,6 +143,14 @@ JsonReporter::Row& JsonReporter::AddRow() {
   return rows_.back();
 }
 
+JsonReporter::Row& JsonReporter::AddKnobRow(const ExecKnobs& knobs) {
+  return AddRow()
+      .Num("batch_size", knobs.batch_size)
+      .Num("refine_threads", knobs.refine_threads)
+      .Num("grid_shards", knobs.grid_shards)
+      .Num("ingest_queue_depth", knobs.ingest_queue_depth);
+}
+
 JsonReporter::~JsonReporter() {
   if (path_.empty()) {
     return;
@@ -160,10 +174,10 @@ void PrintHeader(const std::string& figure, const std::string& title,
   std::printf(
       "defaults (Table 5, scaled): alpha=%.1f rho=%.1f xi=%.1f eta=%.1f "
       "w=%d m=%d scale=%.3f arrivals=%d bench_scale=%.2f batch=%d "
-      "threads=%d\n",
+      "threads=%d shards=%d queue=%d\n",
       params.alpha, params.rho, params.xi, params.eta, params.w, params.m,
       params.scale, params.max_arrivals, EnvScale(), params.batch_size,
-      params.refine_threads);
+      params.refine_threads, params.grid_shards, params.ingest_queue_depth);
 }
 
 namespace {

@@ -17,13 +17,25 @@ namespace bench {
 /// values > 1 approach the paper's sizes at the cost of wall time.
 double EnvScale();
 
-/// Execution-model knobs from TERIDS_BENCH_BATCH / TERIDS_BENCH_THREADS
-/// (defaults 1/1 = the classic one-at-a-time operator). Every bench that
-/// replays arrivals through Experiment::Run inherits them via BaseParams,
-/// so any figure can be reproduced under micro-batching + parallel
-/// refinement without code changes.
-int EnvBatchSize();
-int EnvRefineThreads();
+/// Integer environment knob with a lower bound: unset or unparsable values
+/// fall back to `fallback`, parsed values are clamped to >= `min_value`.
+/// The one shared parser behind every TERIDS_BENCH_* execution knob.
+int EnvInt(const char* name, int fallback, int min_value);
+
+/// The four execution-model knobs, parsed once from TERIDS_BENCH_BATCH /
+/// TERIDS_BENCH_THREADS / TERIDS_BENCH_SHARDS / TERIDS_BENCH_QUEUE
+/// (defaults 1/1/1/0 = the classic one-at-a-time synchronous operator).
+/// Every bench that replays arrivals through Experiment::Run inherits them
+/// via BaseParams, so any figure can be reproduced under micro-batching,
+/// parallel refinement, grid sharding, and async ingest without code
+/// changes.
+struct ExecKnobs {
+  int batch_size = 1;
+  int refine_threads = 1;
+  int grid_shards = 1;
+  int ingest_queue_depth = 0;
+};
+ExecKnobs EnvExecKnobs();
 
 /// Baseline parameters for one dataset: Table 5 defaults with sizes scaled
 /// so the full suite finishes on one core (see EXPERIMENTS.md §Scaling).
@@ -69,6 +81,10 @@ class JsonReporter {
 
   bool enabled() const { return !path_.empty(); }
   Row& AddRow();
+  /// AddRow with the effective execution-model knob columns pre-stamped
+  /// (batch_size / refine_threads / grid_shards / ingest_queue_depth), so
+  /// artifact rows from different knob settings stay distinguishable.
+  Row& AddKnobRow(const ExecKnobs& knobs);
 
  private:
   std::string figure_;

@@ -9,6 +9,7 @@ int main() {
   using namespace terids;
   using namespace terids::bench;
   ExperimentParams base = BaseParams("Citations");
+  const ExecKnobs knobs = EnvExecKnobs();
   JsonReporter reporter("Figure 5(b)");
   PrintHeader("Figure 5(b)", "wall clock time (ms/arrival) vs data sets",
               base);
@@ -27,11 +28,9 @@ int main() {
       PipelineRun run = experiment.Run(kind);
       std::printf(" %10.4f", 1e3 * run.avg_arrival_seconds);
       std::fflush(stdout);
-      reporter.AddRow()
+      reporter.AddKnobRow(knobs)
           .Str("dataset", name)
           .Str("pipeline", PipelineKindName(kind))
-          .Num("batch_size", EnvBatchSize())
-          .Num("refine_threads", EnvRefineThreads())
           .Num("ms_per_arrival", 1e3 * run.avg_arrival_seconds)
           .Raw("cost", run.total_cost.PerArrival(run.arrivals).ToJson());
     }

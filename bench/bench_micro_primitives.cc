@@ -17,7 +17,6 @@
 #include "datagen/profiles.h"
 #include "index/artree.h"
 #include "stream/stream_driver.h"
-#include "synopsis/er_grid.h"
 #include "text/token_set.h"
 #include "util/rng.h"
 

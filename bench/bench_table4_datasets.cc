@@ -12,6 +12,7 @@ int main() {
   using namespace terids;
   using namespace terids::bench;
   ExperimentParams base = BaseParams("Citations");
+  const ExecKnobs knobs = EnvExecKnobs();
   JsonReporter reporter("Table 4");
   PrintHeader("Table 4", "the tested data sets (generated substitutes)",
               base);
@@ -32,7 +33,7 @@ int main() {
                 name.c_str(), profile.num_attributes(), ds.source_a.size(),
                 ds.source_b.size(), ds.repo_records.size(),
                 ds.ground_truth.size(), params.scale, throughput);
-    reporter.AddRow()
+    reporter.AddKnobRow(knobs)
         .Str("dataset", name)
         .Num("attributes", profile.num_attributes())
         .Num("source_a", static_cast<double>(ds.source_a.size()))
@@ -40,8 +41,6 @@ int main() {
         .Num("repository", static_cast<double>(ds.repo_records.size()))
         .Num("planted_pairs", static_cast<double>(ds.ground_truth.size()))
         .Num("scale", params.scale)
-        .Num("batch_size", EnvBatchSize())
-        .Num("refine_threads", EnvRefineThreads())
         .Num("terids_arrivals_per_sec", throughput);
   }
   std::printf(

@@ -1,14 +1,18 @@
 // Runs all six pipelines on one workload and prints an accuracy/efficiency
 // comparison table (a miniature of the paper's Figure 5). Arrivals replay
-// through the batched operator, so the execution model (micro-batch size,
-// refinement threads) is a command-line choice; results are identical for
-// every setting — only throughput changes.
+// through the streaming operator, so the execution model (micro-batch
+// size, refinement threads, ER-grid shards, async ingest queue depth) is a
+// command-line choice; results are identical for every setting — only
+// throughput changes.
 //
 // Usage: example_pipeline_comparison [dataset] [scale] [batch] [threads]
+//                                    [shards] [queue]
 //   dataset: Citations | Anime | Bikes | EBooks | Songs (default Citations)
 //   scale:   dataset size factor (default 0.1)
 //   batch:   micro-batch size fed to ProcessBatch (default 1)
 //   threads: refinement worker count (default 1)
+//   shards:  ER-grid shard count (default 1)
+//   queue:   async ingest queue depth (default 0 = synchronous)
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +29,8 @@ int main(int argc, char** argv) {
   const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
   const int batch_size = argc > 3 ? std::atoi(argv[3]) : 1;
   const int refine_threads = argc > 4 ? std::atoi(argv[4]) : 1;
+  const int grid_shards = argc > 5 ? std::atoi(argv[5]) : 1;
+  const int queue_depth = argc > 6 ? std::atoi(argv[6]) : 0;
 
   ExperimentParams params;
   params.scale = scale;
@@ -32,12 +38,15 @@ int main(int argc, char** argv) {
   params.max_arrivals = 600;
   params.batch_size = batch_size > 0 ? batch_size : 1;
   params.refine_threads = refine_threads > 0 ? refine_threads : 1;
+  params.grid_shards = grid_shards > 0 ? grid_shards : 1;
+  params.ingest_queue_depth = queue_depth > 0 ? queue_depth : 0;
 
   Experiment experiment(ProfileByName(dataset), params);
   std::printf(
-      "%s (scale %.2f, batch %d, refine threads %d): truth pairs in windows "
-      "= %zu\n",
+      "%s (scale %.2f, batch %d, refine threads %d, shards %d, queue %d): "
+      "truth pairs in windows = %zu\n",
       dataset.c_str(), scale, params.batch_size, params.refine_threads,
+      params.grid_shards, params.ingest_queue_depth,
       experiment.effective_truth().size());
   std::printf("%-10s %12s %10s %10s %10s %10s %9s %9s %9s\n", "pipeline",
               "ms/arrival", "precision", "recall", "F-score", "results",

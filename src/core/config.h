@@ -44,6 +44,18 @@ struct EngineConfig {
   /// sequential refinement. The defaults (1/1) keep pipeline output and
   /// execution bit-for-bit identical to the unbatched operator.
   int refine_threads = 1;
+  /// Number of ER-grid shards (cells partitioned by cell-key hash;
+  /// Candidates fans out over shards and merges deterministically). 1 = the
+  /// original single grid with no fan-out pool. Every setting produces
+  /// identical matches, MatchSet, and PruneStats.
+  int grid_shards = 1;
+  /// Bound on ingested micro-batches buffered ahead of refinement by the
+  /// async ingest path of ProcessStream: 0 = fully synchronous (ingest and
+  /// refinement alternate on the calling thread, bit-identical to the
+  /// pre-async operator); >= 1 runs ingest on its own thread so
+  /// imputation/candidate generation of batch k+1 overlaps refinement of
+  /// batch k, at most this many batches ahead.
+  int ingest_queue_depth = 0;
 };
 
 }  // namespace terids

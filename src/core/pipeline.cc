@@ -1,11 +1,30 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "er/probability.h"
+#include "stream/batch_queue.h"
 #include "util/stopwatch.h"
 
 namespace terids {
+
+size_t ErPipeline::ProcessStream(StreamDriver* driver, size_t max_arrivals,
+                                 size_t batch_size, const OutcomeSink& sink) {
+  TERIDS_CHECK(driver != nullptr);
+  TERIDS_CHECK(batch_size >= 1);
+  size_t processed = 0;
+  while (processed < max_arrivals && driver->HasNext()) {
+    const std::vector<Record> batch =
+        driver->NextBatch(std::min(batch_size, max_arrivals - processed));
+    for (ArrivalOutcome& outcome : ProcessBatch(batch)) {
+      sink(std::move(outcome));
+      ++processed;
+    }
+  }
+  return processed;
+}
 
 PipelineBase::PipelineBase(Repository* repo, EngineConfig config,
                            int num_streams, bool use_grid, bool use_prunings,
@@ -20,13 +39,15 @@ PipelineBase::PipelineBase(Repository* repo, EngineConfig config,
   TERIDS_CHECK(num_streams >= 2);
   TERIDS_CHECK(config_.batch_size >= 1);
   TERIDS_CHECK(config_.refine_threads >= 1);
+  TERIDS_CHECK(config_.grid_shards >= 1);
+  TERIDS_CHECK(config_.ingest_queue_depth >= 0);
   windows_.reserve(num_streams);
   for (int i = 0; i < num_streams; ++i) {
     windows_.emplace_back(config_.window_size);
   }
   if (use_grid) {
-    grid_ = std::make_unique<ErGrid>(repo->num_attributes(),
-                                     config_.cell_width);
+    grid_ = std::make_unique<ShardedErGrid>(
+        repo->num_attributes(), config_.cell_width, config_.grid_shards);
   }
 }
 
@@ -91,9 +112,10 @@ void PipelineBase::ImputePhase(ArrivalContext* ctx) {
 }
 
 void PipelineBase::CandidatePhase(ArrivalContext* ctx) {
+  ScopedTimer timer(&ctx->out.cost.candidate_seconds);
   if (grid_ != nullptr) {
     const bool topic_constrained = !topic_.IsUnconstrained();
-    ErGrid::CandidateResult grid_result =
+    ShardedErGrid::CandidateResult grid_result =
         grid_->Candidates(*ctx->wt, config_.gamma, topic_constrained);
     ctx->candidates = std::move(grid_result.candidates);
     // Grid-level prunes are Theorem 4.1 / Theorem 4.2 kills; account for
@@ -172,9 +194,76 @@ void PipelineBase::MaintainPhase(ArrivalContext* ctx,
   }
 }
 
+// --- Batched operator stages -----------------------------------------------
+
+void PipelineBase::IngestBatch(const std::vector<Record>& batch,
+                               std::vector<ArrivalContext>* ctxs) {
+  BeginBatch();
+  ctxs->reserve(ctxs->size() + batch.size());
+  // Impute / candidates / maintain per arrival, in arrival order, with
+  // refinement deferred: the window, grid, and imputer state each batch
+  // arrival observes is exactly what sequential processing would have left
+  // behind (intra-batch pairs included), while the expensive pair cascade
+  // is pulled out into one batch-wide parallel task set.
+  for (const Record& r : batch) {
+    ctxs->emplace_back(r);
+    ArrivalContext& ctx = ctxs->back();
+    ImputePhase(&ctx);
+    {
+      ScopedTimer timer(&ctx.out.cost.er_seconds);
+      CandidatePhase(&ctx);
+    }
+    MaintainPhase(&ctx, /*defer_result_eviction=*/true);
+  }
+}
+
+void PipelineBase::RefineAndReplay(std::vector<ArrivalContext>* ctxs) {
+  size_t total_tasks = 0;
+  for (const ArrivalContext& ctx : *ctxs) {
+    total_tasks += ctx.candidates.size();
+  }
+  std::vector<RefinementExecutor::Task> tasks;
+  tasks.reserve(total_tasks);
+  for (ArrivalContext& ctx : *ctxs) {
+    for (const WindowTuple* cand : ctx.candidates) {
+      tasks.push_back({ctx.tuple.get(), &ctx.wt->topic, cand});
+    }
+  }
+  double refine_wall = 0.0;
+  std::vector<PairEvaluation> evals;
+  {
+    ScopedTimer timer(&refine_wall);
+    refiner()->Run(tasks, use_prunings_, config_.gamma, config_.alpha,
+                   &evals);
+  }
+
+  // Replay in arrival order: evaluations fold into each arrival's stats
+  // and the result set in candidate order, then the arrival's deferred
+  // result-set eviction runs — the exact sequential interleaving of match
+  // insertion and expiration.
+  size_t cursor = 0;
+  for (ArrivalContext& ctx : *ctxs) {
+    for (const WindowTuple* cand : ctx.candidates) {
+      ApplyEvaluation(&ctx, cand, evals[cursor++]);
+    }
+    cum_stats_.Add(ctx.out.stats);
+    if (ctx.evicted != nullptr) {
+      matches_.RemoveAllWith(ctx.evicted->rid());
+    }
+    const double share =
+        total_tasks == 0
+            ? 0.0
+            : refine_wall * static_cast<double>(ctx.candidates.size()) /
+                  static_cast<double>(total_tasks);
+    ctx.out.cost.refine_seconds += share;
+    ctx.out.cost.er_seconds += share;
+  }
+}
+
 // --- Operators -------------------------------------------------------------
 
 ArrivalOutcome PipelineBase::ProcessArrival(const Record& r) {
+  BeginBatch();
   ArrivalContext ctx(r);
   ImputePhase(&ctx);
   {
@@ -200,63 +289,10 @@ std::vector<ArrivalOutcome> PipelineBase::ProcessBatch(
 
   double batch_wall = 0.0;
   std::vector<ArrivalContext> ctxs;
-  ctxs.reserve(batch.size());
   {
     ScopedTimer batch_timer(&batch_wall);
-    // Impute / candidates / maintain per arrival, in arrival order, with
-    // refinement deferred: the window, grid, and imputer state each batch
-    // arrival observes is exactly what sequential processing would have
-    // left behind (intra-batch pairs included), while the expensive pair
-    // cascade is pulled out into one batch-wide parallel task set.
-    size_t total_tasks = 0;
-    for (const Record& r : batch) {
-      ctxs.emplace_back(r);
-      ArrivalContext& ctx = ctxs.back();
-      ImputePhase(&ctx);
-      {
-        ScopedTimer timer(&ctx.out.cost.er_seconds);
-        CandidatePhase(&ctx);
-      }
-      MaintainPhase(&ctx, /*defer_result_eviction=*/true);
-      total_tasks += ctx.candidates.size();
-    }
-
-    std::vector<RefinementExecutor::Task> tasks;
-    tasks.reserve(total_tasks);
-    for (ArrivalContext& ctx : ctxs) {
-      for (const WindowTuple* cand : ctx.candidates) {
-        tasks.push_back({ctx.tuple.get(), &ctx.wt->topic, cand});
-      }
-    }
-    double refine_wall = 0.0;
-    std::vector<PairEvaluation> evals;
-    {
-      ScopedTimer timer(&refine_wall);
-      refiner()->Run(tasks, use_prunings_, config_.gamma, config_.alpha,
-                     &evals);
-    }
-
-    // Replay in arrival order: evaluations fold into each arrival's stats
-    // and the result set in candidate order, then the arrival's deferred
-    // result-set eviction runs — the exact sequential interleaving of
-    // match insertion and expiration.
-    size_t cursor = 0;
-    for (ArrivalContext& ctx : ctxs) {
-      for (const WindowTuple* cand : ctx.candidates) {
-        ApplyEvaluation(&ctx, cand, evals[cursor++]);
-      }
-      cum_stats_.Add(ctx.out.stats);
-      if (ctx.evicted != nullptr) {
-        matches_.RemoveAllWith(ctx.evicted->rid());
-      }
-      const double share =
-          total_tasks == 0
-              ? 0.0
-              : refine_wall * static_cast<double>(ctx.candidates.size()) /
-                    static_cast<double>(total_tasks);
-      ctx.out.cost.refine_seconds += share;
-      ctx.out.cost.er_seconds += share;
-    }
+    IngestBatch(batch, &ctxs);
+    RefineAndReplay(&ctxs);
   }
   for (ArrivalContext& ctx : ctxs) {
     ctx.out.cost.batch_seconds +=
@@ -264,6 +300,93 @@ std::vector<ArrivalOutcome> PipelineBase::ProcessBatch(
     outcomes.push_back(std::move(ctx.out));
   }
   return outcomes;
+}
+
+size_t PipelineBase::ProcessStream(StreamDriver* driver, size_t max_arrivals,
+                                   size_t batch_size,
+                                   const OutcomeSink& sink) {
+  // An imputer that writes state refinement reads (the constraint-based
+  // baseline registers stream values into repository domains) must not
+  // overlap the two stages; its pipeline stays synchronous at any depth.
+  const bool async_safe =
+      imputer_ == nullptr || !imputer_->MutatesRefinementState();
+  if (config_.ingest_queue_depth <= 0 || !async_safe) {
+    // Fully synchronous: the default alternating loop, bit-identical to the
+    // pre-async operator (including the one-at-a-time path for batch 1).
+    return ErPipeline::ProcessStream(driver, max_arrivals, batch_size, sink);
+  }
+  TERIDS_CHECK(driver != nullptr);
+  TERIDS_CHECK(batch_size >= 1);
+
+  // Two-stage pipeline over a bounded SPSC handoff. Stage ownership while
+  // the ingest thread runs: windows_/grid_/imputer_/driver belong to the
+  // ingest thread, matches_/cum_stats_/refiner belong to this thread; the
+  // queue's mutex provides the happens-before edge at each batch handoff,
+  // and tuples a later batch evicts stay alive through that batch's
+  // contexts until its own (later) replay.
+  BatchQueue<IngestedBatch> queue(
+      static_cast<size_t>(config_.ingest_queue_depth));
+  std::thread ingest([&] {
+    size_t ingested = 0;
+    while (ingested < max_arrivals && driver->HasNext()) {
+      const std::vector<Record> batch =
+          driver->NextBatch(std::min(batch_size, max_arrivals - ingested));
+      if (batch.empty()) {
+        break;
+      }
+      ingested += batch.size();
+      IngestedBatch ib;
+      {
+        ScopedTimer timer(&ib.ingest_wall);
+        IngestBatch(batch, &ib.ctxs);
+      }
+      if (!queue.Push(std::move(ib))) {
+        return;  // Consumer cancelled (threw); stop ingesting.
+      }
+    }
+    queue.Close();
+  });
+
+  size_t processed = 0;
+  IngestedBatch ib;
+  try {
+    while (true) {
+      double wait_wall = 0.0;
+      bool popped;
+      {
+        ScopedTimer timer(&wait_wall);
+        popped = queue.Pop(&ib);
+      }
+      if (!popped) {
+        break;
+      }
+      double refine_wall = 0.0;
+      {
+        ScopedTimer timer(&refine_wall);
+        RefineAndReplay(&ib.ctxs);
+      }
+      const double n = static_cast<double>(ib.ctxs.size());
+      for (ArrivalContext& ctx : ib.ctxs) {
+        // Stage walls overlap across batches, so their sum upper-bounds the
+        // wall attribution of this batch; queue_wait isolates how long
+        // refinement starved for ingest.
+        ctx.out.cost.batch_seconds += (ib.ingest_wall + refine_wall) / n;
+        ctx.out.cost.queue_wait_seconds += wait_wall / n;
+        sink(std::move(ctx.out));
+        ++processed;
+      }
+    }
+  } catch (...) {
+    // A throwing sink (or refinement) must not unwind past a joinable
+    // ingest thread blocked in Push on this stack frame's queue: cancel
+    // the handoff (unblocks Push, which returns false and stops the
+    // producer within one batch), join, then rethrow.
+    queue.Cancel();
+    ingest.join();
+    throw;
+  }
+  ingest.join();
+  return processed;
 }
 
 }  // namespace terids

@@ -1,6 +1,7 @@
 #ifndef TERIDS_CORE_PIPELINE_H_
 #define TERIDS_CORE_PIPELINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,7 +18,8 @@
 #include "repo/repository.h"
 #include "rules/rule.h"
 #include "stream/sliding_window.h"
-#include "synopsis/er_grid.h"
+#include "stream/stream_driver.h"
+#include "synopsis/sharded_er_grid.h"
 #include "tuple/record.h"
 
 namespace terids {
@@ -47,6 +49,19 @@ class ErPipeline {
     return outcomes;
   }
 
+  /// Sink for per-arrival outcomes, invoked strictly in arrival order.
+  using OutcomeSink = std::function<void(ArrivalOutcome&&)>;
+
+  /// Drives the pipeline over `driver` until `max_arrivals` records have
+  /// been consumed (or the driver runs dry), feeding micro-batches of up to
+  /// `batch_size` records and handing every outcome to `sink` in arrival
+  /// order. Returns the number of arrivals processed. The default loops
+  /// NextBatch -> ProcessBatch synchronously; PipelineBase overrides it
+  /// with an async double-buffered ingest loop when
+  /// EngineConfig::ingest_queue_depth > 0.
+  virtual size_t ProcessStream(StreamDriver* driver, size_t max_arrivals,
+                               size_t batch_size, const OutcomeSink& sink);
+
   virtual const MatchSet& results() const = 0;
   virtual const PruneStats& cumulative_stats() const = 0;
 };
@@ -65,8 +80,11 @@ class ErPipeline {
 /// (so intra-batch pairs and evictions behave exactly as in sequential
 /// processing), defers all pair refinement into one batch-wide task set,
 /// executes it on the RefinementExecutor, and replays match insertion and
-/// result-set eviction in arrival order. Output is bit-for-bit identical
-/// to sequential processing for every batch_size / refine_threads setting.
+/// result-set eviction in arrival order. ProcessStream additionally
+/// pipelines the two stages across batches on an ingest thread when
+/// EngineConfig::ingest_queue_depth > 0 (DESIGN.md §7). Output is
+/// bit-for-bit identical to sequential processing for every batch_size /
+/// refine_threads / grid_shards / ingest_queue_depth setting.
 ///
 /// Subclasses override the imputation hook (and inherit either the
 /// grid-based or linear candidate generation depending on configuration).
@@ -84,6 +102,16 @@ class PipelineBase : public ErPipeline {
   ArrivalOutcome ProcessArrival(const Record& r) override;
   std::vector<ArrivalOutcome> ProcessBatch(
       const std::vector<Record>& batch) override;
+  /// With `ingest_queue_depth == 0`, the synchronous default loop. With a
+  /// positive depth, a two-stage pipeline: an ingest thread pulls batches
+  /// from the driver and runs impute/candidates/maintain (the window, grid,
+  /// and imputer state is owned by that thread for the duration), pushing
+  /// ingested batches through a bounded BatchQueue; the calling thread pops
+  /// batches in order, runs deferred refinement + replay, and emits
+  /// outcomes — so ingest of batch k+1 overlaps refinement of batch k.
+  /// Output is bit-identical to the synchronous loop for every queue depth.
+  size_t ProcessStream(StreamDriver* driver, size_t max_arrivals,
+                       size_t batch_size, const OutcomeSink& sink) override;
   const MatchSet& results() const override { return matches_; }
   const PruneStats& cumulative_stats() const override { return cum_stats_; }
 
@@ -96,6 +124,12 @@ class PipelineBase : public ErPipeline {
   virtual std::vector<ImputedTuple::ImputedAttr> Impute(const Record& r,
                                                         const ProbeCoords& pc,
                                                         CostBreakdown* cost);
+
+  /// Batch-boundary hook, called once before the first arrival of every
+  /// micro-batch (and before each arrival in one-at-a-time processing,
+  /// where every arrival is its own batch). Subclasses reset batch-scoped
+  /// probes here (e.g. the TER-iDS CDD-memoization signature set).
+  virtual void BeginBatch() {}
 
   // --- Arrival pipeline phases (Algorithm 2) -----------------------------
 
@@ -118,7 +152,7 @@ class PipelineBase : public ErPipeline {
   EngineConfig config_;
   TopicQuery topic_;
   std::vector<SlidingWindow> windows_;
-  std::unique_ptr<ErGrid> grid_;
+  std::unique_ptr<ShardedErGrid> grid_;
   std::unique_ptr<Imputer> imputer_;
   MatchSet matches_;
   PruneStats cum_stats_;
@@ -126,12 +160,32 @@ class PipelineBase : public ErPipeline {
   std::string name_;
 
  private:
+  /// One micro-batch after the ingest stage: per-arrival contexts with
+  /// impute/candidates/maintain done and refinement pending, plus the
+  /// ingest-stage wall time (charged into batch_seconds at replay).
+  struct IngestedBatch {
+    std::vector<ArrivalContext> ctxs;
+    double ingest_wall = 0.0;
+  };
+
   std::vector<const WindowTuple*> LinearCandidates(const WindowTuple& probe,
                                                    PruneStats* stats) const;
   /// Folds one pair evaluation into the arrival's outcome and, on a match,
   /// the result set (the single place MatchPairs are constructed).
   void ApplyEvaluation(ArrivalContext* ctx, const WindowTuple* cand,
                        const PairEvaluation& eval);
+  /// Ingest stage: BeginBatch, then impute/candidates/maintain per record
+  /// in arrival order with refinement deferred and result-set eviction
+  /// parked in each context. Touches windows_/grid_/imputer_ only — under
+  /// async ingest it runs on the ingest thread.
+  void IngestBatch(const std::vector<Record>& batch,
+                   std::vector<ArrivalContext>* ctxs);
+  /// Refine stage: builds the batch-wide task set, runs it on the
+  /// RefinementExecutor, and replays match insertion, stats accumulation,
+  /// and deferred result-set evictions in arrival order. Touches matches_
+  /// and cum_stats_ only — under async ingest it runs on the calling
+  /// thread, concurrently with the next batch's ingest.
+  void RefineAndReplay(std::vector<ArrivalContext>* ctxs);
   /// Lazily constructed parallel refiner (config_.refine_threads workers).
   RefinementExecutor* refiner();
 

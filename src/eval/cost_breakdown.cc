@@ -11,6 +11,10 @@ CostBreakdown CostBreakdown::Scaled(double factor) const {
   out.er_seconds = er_seconds * factor;
   out.refine_seconds = refine_seconds * factor;
   out.batch_seconds = batch_seconds * factor;
+  out.candidate_seconds = candidate_seconds * factor;
+  out.queue_wait_seconds = queue_wait_seconds * factor;
+  out.cdd_memo_queries = cdd_memo_queries * factor;
+  out.cdd_memo_repeats = cdd_memo_repeats * factor;
   return out;
 }
 
@@ -34,13 +38,18 @@ CostBreakdown::Shares CostBreakdown::PhaseShares() const {
 }
 
 std::string CostBreakdown::ToJson() const {
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "{\"cdd_select_seconds\":%.9g,\"impute_seconds\":%.9g,"
                 "\"er_seconds\":%.9g,\"refine_seconds\":%.9g,"
-                "\"batch_seconds\":%.9g,\"total_seconds\":%.9g}",
+                "\"batch_seconds\":%.9g,\"candidate_seconds\":%.9g,"
+                "\"queue_wait_seconds\":%.9g,\"cdd_memo_queries\":%.9g,"
+                "\"cdd_memo_repeats\":%.9g,\"cdd_memo_hit_rate\":%.9g,"
+                "\"total_seconds\":%.9g}",
                 cdd_select_seconds, impute_seconds, er_seconds,
-                refine_seconds, batch_seconds, total_seconds());
+                refine_seconds, batch_seconds, candidate_seconds,
+                queue_wait_seconds, cdd_memo_queries, cdd_memo_repeats,
+                cdd_memo_hit_rate(), total_seconds());
   return std::string(buf);
 }
 

@@ -17,11 +17,33 @@ struct CostBreakdown {
   double refine_seconds = 0.0;
   /// Wall time of the whole batched operator attributed evenly across the
   /// batch's arrivals. Overlaps the three phases; zero in one-at-a-time
-  /// processing.
+  /// processing. Under async ingest this sums the ingest-stage and
+  /// refine-stage walls, which overlap across batches, so it upper-bounds
+  /// the true wall attribution.
   double batch_seconds = 0.0;
+  /// Candidate-generation wall time (the sharded ER-grid probe fan-out, or
+  /// the linear window scan). Contained in `er_seconds`; overlay metric.
+  double candidate_seconds = 0.0;
+  /// Time the refine stage spent blocked on the ingest BatchQueue waiting
+  /// for the next ingested batch (async mode only; spread evenly across the
+  /// batch's arrivals). Zero wait = ingest keeps up = the overlap is real.
+  double queue_wait_seconds = 0.0;
+  /// CDD-selection memoization probe (ROADMAP: measure before building the
+  /// cache): determinant-signature lookups per (arrival, missing attribute)
+  /// and how many of them repeated a signature already seen in the same
+  /// micro-batch — the would-be hit count of a batch-scoped CDD-selection
+  /// cache. Stored as doubles so Add/Scaled/PerArrival apply uniformly.
+  double cdd_memo_queries = 0.0;
+  double cdd_memo_repeats = 0.0;
 
   double total_seconds() const {
     return cdd_select_seconds + impute_seconds + er_seconds;
+  }
+
+  /// Would-be hit rate of a batch-scoped CDD-selection memo (0 when no
+  /// lookups were recorded).
+  double cdd_memo_hit_rate() const {
+    return cdd_memo_queries > 0.0 ? cdd_memo_repeats / cdd_memo_queries : 0.0;
   }
 
   void Add(const CostBreakdown& other) {
@@ -30,6 +52,10 @@ struct CostBreakdown {
     er_seconds += other.er_seconds;
     refine_seconds += other.refine_seconds;
     batch_seconds += other.batch_seconds;
+    candidate_seconds += other.candidate_seconds;
+    queue_wait_seconds += other.queue_wait_seconds;
+    cdd_memo_queries += other.cdd_memo_queries;
+    cdd_memo_repeats += other.cdd_memo_repeats;
   }
 
   void Reset() { *this = CostBreakdown(); }

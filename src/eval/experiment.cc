@@ -143,6 +143,8 @@ EngineConfig Experiment::MakeConfig() const {
   config.cell_width = params_.cell_width;
   config.batch_size = params_.batch_size;
   config.refine_threads = params_.refine_threads;
+  config.grid_shards = params_.grid_shards;
+  config.ingest_queue_depth = params_.ingest_queue_depth;
   return config;
 }
 
@@ -152,11 +154,20 @@ PipelineRun Experiment::Run(PipelineKind kind) {
 
 PipelineRun Experiment::Run(PipelineKind kind, int batch_size,
                             int refine_threads) {
+  return Run(kind, batch_size, refine_threads, params_.grid_shards,
+             params_.ingest_queue_depth);
+}
+
+PipelineRun Experiment::Run(PipelineKind kind, int batch_size,
+                            int refine_threads, int grid_shards,
+                            int ingest_queue_depth) {
   TERIDS_CHECK(batch_size >= 1);
   std::unique_ptr<Repository> repo = BuildRepository();
   EngineConfig config = MakeConfig();
   config.batch_size = batch_size;
   config.refine_threads = refine_threads;
+  config.grid_shards = grid_shards;
+  config.ingest_queue_depth = ingest_queue_depth;
   std::unique_ptr<ErPipeline> pipeline = MakePipeline(
       kind, repo.get(), config, /*num_streams=*/2, cdds_, dds_, editing_);
   TERIDS_CHECK(pipeline != nullptr);
@@ -168,16 +179,16 @@ PipelineRun Experiment::Run(PipelineKind kind, int batch_size,
   const size_t cap = ArrivalCap();
   std::vector<MatchPair> all_matches;
   Stopwatch total_watch;
-  while (run.arrivals < cap && driver.HasNext()) {
-    const std::vector<Record> batch = driver.NextBatch(
-        std::min<size_t>(batch_size, cap - run.arrivals));
-    for (ArrivalOutcome& outcome : pipeline->ProcessBatch(batch)) {
-      run.total_cost.Add(outcome.cost);
-      all_matches.insert(all_matches.end(), outcome.new_matches.begin(),
-                         outcome.new_matches.end());
-      ++run.arrivals;
-    }
-  }
+  // ProcessStream replays every arrival through the pipeline's streaming
+  // operator: the synchronous NextBatch/ProcessBatch loop by default, the
+  // async double-buffered ingest loop when ingest_queue_depth > 0.
+  run.arrivals = pipeline->ProcessStream(
+      &driver, cap, static_cast<size_t>(batch_size),
+      [&](ArrivalOutcome&& outcome) {
+        run.total_cost.Add(outcome.cost);
+        all_matches.insert(all_matches.end(), outcome.new_matches.begin(),
+                           outcome.new_matches.end());
+      });
   run.total_seconds = total_watch.ElapsedSeconds();
   run.avg_arrival_seconds =
       run.arrivals > 0 ? run.total_seconds / static_cast<double>(run.arrivals)

@@ -37,6 +37,8 @@ struct ExperimentParams {
   /// Execution-model knobs (defaults reproduce one-at-a-time processing).
   int batch_size = 1;
   int refine_threads = 1;
+  int grid_shards = 1;
+  int ingest_queue_depth = 0;
 };
 
 /// One pipeline's measured run.
@@ -69,6 +71,10 @@ class Experiment {
   /// and ground truth are shared, so scaling benches can sweep batch and
   /// thread settings without rebuilding the experiment.
   PipelineRun Run(PipelineKind kind, int batch_size, int refine_threads);
+  /// Full execution-model override: micro-batch size, refinement threads,
+  /// ER-grid shard count, and async-ingest queue depth.
+  PipelineRun Run(PipelineKind kind, int batch_size, int refine_threads,
+                  int grid_shards, int ingest_queue_depth);
 
   const GeneratedDataset& dataset() const { return dataset_; }
   const ExperimentParams& params() const { return params_; }

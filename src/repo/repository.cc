@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace terids {
 
 // ---------------------------------------------------------------------------
@@ -11,10 +13,9 @@ namespace terids {
 uint64_t AttributeDomain::HashTokens(const TokenSet& tokens) {
   // FNV-1a over the sorted token ids; collisions are resolved by the
   // multimap probe in Find/FindOrAdd.
-  uint64_t h = 1469598103934665603ULL;
+  uint64_t h = kFnv1aOffsetBasis;
   for (Token t : tokens.tokens()) {
-    h ^= t;
-    h *= 1099511628211ULL;
+    h = Fnv1aMix(h, t);
   }
   return h;
 }

@@ -1,0 +1,100 @@
+#ifndef TERIDS_STREAM_BATCH_QUEUE_H_
+#define TERIDS_STREAM_BATCH_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace terids {
+
+/// A bounded single-producer / single-consumer handoff queue for the async
+/// ingest pipeline (DESIGN.md §7): the ingest thread pushes ingested
+/// micro-batches, the refine thread pops them in FIFO order, and the bound
+/// caps how far ingest may run ahead of refinement.
+///
+/// Blocking mutex + condvar implementation: the capacity is small (the
+/// EngineConfig::ingest_queue_depth double-buffer) and items are whole
+/// micro-batches, so handoff cost is irrelevant next to the work each item
+/// carries — simplicity and TSan-provable correctness win over lock-free
+/// cleverness. The mutex also supplies the happens-before edge that makes
+/// the producer's window/grid/imputer mutations visible to the consumer.
+template <typename T>
+class BatchQueue {
+ public:
+  /// `capacity` >= 1 items may be buffered before Push blocks.
+  explicit BatchQueue(size_t capacity) : capacity_(capacity) {
+    TERIDS_CHECK(capacity >= 1);
+  }
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  /// Enqueues `item`, blocking while the queue is full. Producer-side only;
+  /// must not be called after Close(). Returns false — dropping the item —
+  /// once the consumer has Cancelled, which tells the producer to stop.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || cancelled_; });
+    if (cancelled_) {
+      return false;
+    }
+    TERIDS_CHECK(!closed_);
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues into `*out`, blocking while the queue is empty and not yet
+  /// closed. Returns false once the queue is closed and drained, or
+  /// immediately after Cancel.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(
+        lock, [this] { return !items_.empty() || closed_ || cancelled_; });
+    if (cancelled_ || items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Producer signals end-of-stream: already queued items remain poppable,
+  /// then Pop returns false.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+  /// Consumer aborts the handoff: a blocked (or any later) Push returns
+  /// false so the producer stops promptly instead of working the stream
+  /// dry into a queue nobody reads. Buffered items are dropped.
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    items_.clear();
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_STREAM_BATCH_QUEUE_H_

@@ -1,0 +1,113 @@
+#include "synopsis/er_grid_shard.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace terids {
+
+ErGridShard::ErGridShard(int dims) : dims_(dims) { TERIDS_CHECK(dims >= 1); }
+
+void ErGridShard::AddMember(Cell* cell, const WindowTuple* wt) const {
+  cell->members.push_back(wt);
+  cell->topic_mask |= wt->topic.possible_mask;
+  cell->any_topic = cell->any_topic || wt->topic.any;
+  if (cell->bounds.empty()) {
+    cell->bounds.assign(dims_, Interval::Empty());
+  }
+  for (int k = 0; k < dims_; ++k) {
+    cell->bounds[k].Union(wt->tuple->pivot_dist_interval(k, 0));
+  }
+}
+
+void ErGridShard::RebuildCell(Cell* cell) const {
+  std::vector<const WindowTuple*> members = std::move(cell->members);
+  *cell = Cell();
+  for (const WindowTuple* wt : members) {
+    AddMember(cell, wt);
+  }
+}
+
+void ErGridShard::Insert(const WindowTuple* wt,
+                         std::vector<GridCellKey> keys) {
+  TERIDS_CHECK(wt != nullptr);
+  TERIDS_CHECK(!keys.empty());
+  const int64_t rid = wt->rid();
+  TERIDS_CHECK(tuple_cells_.count(rid) == 0);
+  for (GridCellKey key : keys) {
+    AddMember(&cells_[key], wt);
+  }
+  tuple_cells_.emplace(rid, std::move(keys));
+}
+
+bool ErGridShard::Remove(const WindowTuple* wt) {
+  TERIDS_CHECK(wt != nullptr);
+  auto it = tuple_cells_.find(wt->rid());
+  if (it == tuple_cells_.end()) {
+    return false;
+  }
+  for (GridCellKey key : it->second) {
+    auto cit = cells_.find(key);
+    TERIDS_CHECK(cit != cells_.end());
+    Cell& cell = cit->second;
+    cell.members.erase(
+        std::remove(cell.members.begin(), cell.members.end(), wt),
+        cell.members.end());
+    if (cell.members.empty()) {
+      cells_.erase(cit);
+    } else {
+      RebuildCell(&cell);
+    }
+  }
+  tuple_cells_.erase(it);
+  return true;
+}
+
+void ErGridShard::Probe(const WindowTuple& probe,
+                        const std::vector<Interval>& q_bounds,
+                        double dist_budget, bool topic_constrained,
+                        ProbeOutput* out) const {
+  for (const auto& [key, cell] : cells_) {
+    (void)key;
+    ++out->cells_visited;
+
+    // Cell-level topic pruning (Theorem 4.1): if the probe can never be
+    // topical and no member of this cell can be topical, every pair with
+    // this cell is out.
+    const bool cell_topic_pass =
+        !topic_constrained || probe.topic.any || cell.any_topic;
+
+    // Cell-level distance lower bound (Lemma 4.2 with the cell's bounds).
+    double lb_dist = 0.0;
+    for (int k = 0; k < dims_ && lb_dist < dist_budget; ++k) {
+      lb_dist += q_bounds[k].MinAbsDiff(cell.bounds[k]);
+    }
+    const bool cell_sim_pass = lb_dist < dist_budget;
+
+    if (cell_topic_pass && !cell_sim_pass) {
+      ++out->cells_pruned;
+    }
+
+    for (const WindowTuple* member : cell.members) {
+      if (member->stream_id() == probe.stream_id() ||
+          member->rid() == probe.rid()) {
+        continue;
+      }
+      int verdict;
+      if (topic_constrained && !probe.topic.any && !member->topic.any) {
+        verdict = 0;  // Topic-pruned regardless of geometry.
+      } else if (!cell_sim_pass) {
+        verdict = 1;
+      } else {
+        verdict = 2;
+      }
+      auto [it, inserted] =
+          out->verdicts.emplace(member->rid(), std::make_pair(member, verdict));
+      if (!inserted && verdict > it->second.second) {
+        it->second.second = verdict;
+      }
+    }
+  }
+}
+
+}  // namespace terids

@@ -1,0 +1,113 @@
+// BatchQueue: bounded SPSC handoff semantics — FIFO order, capacity
+// blocking, close-and-drain — under a real producer/consumer thread pair
+// (also the TSan surface for the async-ingest handoff).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "stream/batch_queue.h"
+
+namespace terids {
+namespace {
+
+TEST(BatchQueueTest, FifoOrderAcrossThreads) {
+  BatchQueue<int> queue(2);
+  constexpr int kItems = 1000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      queue.Push(i);
+    }
+    queue.Close();
+  });
+  std::vector<int> popped;
+  int item;
+  while (queue.Pop(&item)) {
+    popped.push_back(item);
+  }
+  producer.join();
+  ASSERT_EQ(popped.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(popped[i], i);
+  }
+}
+
+TEST(BatchQueueTest, PopAfterCloseDrainsThenReturnsFalse) {
+  BatchQueue<int> queue(4);
+  queue.Push(1);
+  queue.Push(2);
+  queue.Close();
+  int item = 0;
+  EXPECT_TRUE(queue.Pop(&item));
+  EXPECT_EQ(item, 1);
+  EXPECT_TRUE(queue.Pop(&item));
+  EXPECT_EQ(item, 2);
+  EXPECT_FALSE(queue.Pop(&item));
+  EXPECT_FALSE(queue.Pop(&item));  // Stays closed.
+}
+
+TEST(BatchQueueTest, BoundBlocksProducerUntilConsumerDrains) {
+  BatchQueue<int> queue(1);
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    queue.Push(1);
+    pushed.store(1);
+    queue.Push(2);  // Must block until the consumer pops item 1.
+    pushed.store(2);
+    queue.Close();
+  });
+  while (pushed.load() < 1) {
+    std::this_thread::yield();
+  }
+  // Give the producer a chance to (incorrectly) run ahead of the bound.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(pushed.load(), 1) << "queue of capacity 1 let a second Push by";
+  int item = 0;
+  EXPECT_TRUE(queue.Pop(&item));
+  EXPECT_EQ(item, 1);
+  EXPECT_TRUE(queue.Pop(&item));
+  EXPECT_EQ(item, 2);
+  EXPECT_FALSE(queue.Pop(&item));
+  producer.join();
+}
+
+TEST(BatchQueueTest, CancelUnblocksAndStopsProducer) {
+  BatchQueue<int> queue(1);
+  std::atomic<bool> push_rejected{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(1));
+    // Queue is full; this Push blocks until Cancel, then reports rejection
+    // so the producer can stop instead of running the stream dry.
+    if (!queue.Push(2)) {
+      push_rejected.store(true);
+      return;
+    }
+    queue.Close();
+  });
+  // Let the producer reach the blocking Push before cancelling.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Cancel();
+  producer.join();
+  EXPECT_TRUE(push_rejected.load());
+  int item = 0;
+  EXPECT_FALSE(queue.Pop(&item));  // Buffered items were dropped.
+  EXPECT_FALSE(queue.Push(3));     // Still cancelled.
+}
+
+TEST(BatchQueueTest, MoveOnlyPayload) {
+  BatchQueue<std::unique_ptr<int>> queue(2);
+  queue.Push(std::make_unique<int>(42));
+  queue.Close();
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.Pop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+}  // namespace
+}  // namespace terids

@@ -9,7 +9,7 @@
 #include "core/terids_engine.h"
 #include "er/probability.h"
 #include "rules/rule_miner.h"
-#include "synopsis/er_grid.h"
+#include "synopsis/sharded_er_grid.h"
 #include "test_util.h"
 
 namespace terids {
@@ -57,6 +57,32 @@ TEST_F(EngineBehaviorTest, ThreeStreamsMatchAcrossAnyTwo) {
   EXPECT_EQ(engine.results().size(), 3u);
 }
 
+TEST_F(EngineBehaviorTest, CddMemoProbeCountsBatchScopedRepeats) {
+  TerIdsEngine engine(world_.repo.get(), config_, 2, rules_);
+  // Two incomplete arrivals with identical non-missing values and the same
+  // missing attribute share a determinant signature; a complete arrival
+  // never queries the probe.
+  const std::vector<std::string> incomplete = {"male", "blurred vision", "-",
+                                               "drug therapy"};
+  const std::vector<std::string> complete = {"female", "fever cough", "flu",
+                                             "rest"};
+  std::vector<Record> batch = {Post(1, 0, incomplete), Post(2, 0, complete),
+                               Post(3, 1, incomplete)};
+  CostBreakdown batch_cost;
+  for (ArrivalOutcome& out : engine.ProcessBatch(batch)) {
+    batch_cost.Add(out.cost);
+  }
+  EXPECT_DOUBLE_EQ(batch_cost.cdd_memo_queries, 2.0);
+  EXPECT_DOUBLE_EQ(batch_cost.cdd_memo_repeats, 1.0);
+  EXPECT_DOUBLE_EQ(batch_cost.cdd_memo_hit_rate(), 0.5);
+
+  // The probe is batch-scoped: replaying the same signature in a new batch
+  // is a fresh miss (a would-be cache would have been reset).
+  ArrivalOutcome replay = engine.ProcessArrival(Post(4, 0, incomplete));
+  EXPECT_DOUBLE_EQ(replay.cost.cdd_memo_queries, 1.0);
+  EXPECT_DOUBLE_EQ(replay.cost.cdd_memo_repeats, 0.0);
+}
+
 TEST_F(EngineBehaviorTest, SameStreamDuplicatesNeverPair) {
   TerIdsEngine engine(world_.repo.get(), config_, 2, rules_);
   const std::vector<std::string> diabetic = {
@@ -91,7 +117,9 @@ TEST_F(EngineBehaviorTest, RepeatedRunsAreDeterministic) {
 TEST_F(EngineBehaviorTest, ImputedTupleOccupiesMultipleGridCells) {
   // An imputed tuple whose candidate values have spread-out pivot
   // coordinates must be inserted into several cells and fully removed.
-  ErGrid grid(world_.repo->num_attributes(), 0.05);
+  // Two shards: a spread-out imputed tuple also exercises the coordinator's
+  // multi-shard routing and targeted removal.
+  ShardedErGrid grid(world_.repo->num_attributes(), 0.05, /*num_shards=*/2);
   TopicQuery topic(*world_.dict, {"diabetes"});
   Record r = world_.Make(1, {"male", "blurred vision", "-", "drug therapy"});
   r.stream_id = 0;

@@ -6,11 +6,13 @@
 //    the system has — every index, synopsis, bound, and pruning theorem
 //    changes cost, never results — checked over a grid of query
 //    parameters rather than a single configuration.
-// 2. Across every datagen profile and (batch_size, refine_threads)
-//    combination, the batched/parallel operator (ProcessBatch +
-//    RefinementExecutor) must be bit-identical to one-at-a-time
-//    ProcessArrival: same per-arrival matches in the same order, same
-//    final MatchSet, same cumulative PruneStats.
+// 2. Across every datagen profile and (batch_size, refine_threads,
+//    grid_shards, ingest_queue_depth) combination, the batched / parallel /
+//    sharded-grid / async-ingest operator (ProcessStream over ProcessBatch
+//    + RefinementExecutor + ShardedErGrid + BatchQueue) must be
+//    bit-identical to one-at-a-time ProcessArrival: same per-arrival
+//    matches in the same order, same final MatchSet, same cumulative
+//    PruneStats.
 
 #include <gtest/gtest.h>
 
@@ -77,9 +79,10 @@ INSTANTIATE_TEST_SUITE_P(
                       Combo{0.5, 0.5, 0.6}, Combo{0.2, 0.4, 0.5},
                       Combo{0.7, 0.6, 0.2}));
 
-// --- Batched / parallel operator equivalence -------------------------------
+// --- Batched / parallel / sharded / async operator equivalence -------------
 
-using BatchCombo = std::tuple<std::string, int, int>;  // profile, batch, thr
+// profile, batch, refine_threads, grid_shards, ingest_queue_depth
+using BatchCombo = std::tuple<std::string, int, int, int, int>;
 
 class BatchEquivalenceSweepTest
     : public ::testing::TestWithParam<BatchCombo> {};
@@ -101,7 +104,8 @@ void ExpectSameStats(const PruneStats& a, const PruneStats& b) {
 }
 
 TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
-  const auto [profile, batch_size, refine_threads] = GetParam();
+  const auto [profile, batch_size, refine_threads, grid_shards, queue_depth] =
+      GetParam();
   ExperimentParams params;
   // Per-profile scale mirrors bench::BaseParams ratios: EBooks (long token
   // sets) and Songs (the 1M-tuple dataset) blow up wall time at a uniform
@@ -113,17 +117,21 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
   params.max_arrivals = 220;
   Experiment experiment(ProfileByName(profile), params);
 
-  // The TER-iDS engine covers grid candidates + the pruning cascade; the
-  // con+ER baseline covers linear candidates, the unpruned exact path, and
-  // a stateful stream imputer whose OnArrival/OnEvict ordering the batched
-  // operator must reproduce.
+  // The TER-iDS engine covers grid candidates + the pruning cascade (and,
+  // in queue > 0 combos, the async ingest thread); the con+ER baseline
+  // covers linear candidates, the unpruned exact path, and a stateful
+  // stream imputer whose OnArrival/OnEvict ordering the batched operator
+  // must reproduce — its imputer mutates refinement-visible state, so its
+  // pipeline must transparently stay synchronous at any queue depth.
   for (PipelineKind kind :
        {PipelineKind::kTerIds, PipelineKind::kConstraintEr}) {
-    auto replay = [&](int bs, int threads) {
+    auto replay = [&](int bs, int threads, int shards, int queue) {
       std::unique_ptr<Repository> repo = experiment.BuildRepository();
       EngineConfig config = experiment.MakeConfig();
       config.batch_size = bs;
       config.refine_threads = threads;
+      config.grid_shards = shards;
+      config.ingest_queue_depth = queue;
       std::unique_ptr<ErPipeline> pipeline =
           MakePipeline(kind, repo.get(), config, 2, experiment.cdds(),
                        experiment.dds(), experiment.editing_rules());
@@ -134,28 +142,30 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
           params.seed + 1);
       StreamDriver driver({inc_a, inc_b});
       ReplayResult result;
-      size_t arrivals = 0;
-      const size_t cap = static_cast<size_t>(params.max_arrivals);
-      while (arrivals < cap && driver.HasNext()) {
-        const std::vector<Record> batch =
-            driver.NextBatch(std::min<size_t>(bs, cap - arrivals));
-        for (const ArrivalOutcome& out : pipeline->ProcessBatch(batch)) {
-          for (const MatchPair& p : out.new_matches) {
-            result.emitted.emplace_back(p.rid_a, p.rid_b);
-          }
-        }
-        arrivals += batch.size();
-      }
+      // ProcessStream is the one operator entry point under test: the
+      // synchronous NextBatch/ProcessBatch loop when queue == 0, the async
+      // double-buffered ingest pipeline when queue > 0.
+      pipeline->ProcessStream(&driver,
+                              static_cast<size_t>(params.max_arrivals),
+                              static_cast<size_t>(bs),
+                              [&result](ArrivalOutcome&& out) {
+                                for (const MatchPair& p : out.new_matches) {
+                                  result.emitted.emplace_back(p.rid_a,
+                                                              p.rid_b);
+                                }
+                              });
       result.final_set = pipeline->results().ToVector();
       result.stats = pipeline->cumulative_stats();
       return result;
     };
 
-    const ReplayResult sequential = replay(1, 1);
-    const ReplayResult batched = replay(batch_size, refine_threads);
+    const ReplayResult sequential = replay(1, 1, 1, 0);
+    const ReplayResult batched =
+        replay(batch_size, refine_threads, grid_shards, queue_depth);
     EXPECT_EQ(batched.emitted, sequential.emitted)
         << profile << " " << PipelineKindName(kind) << " batch=" << batch_size
-        << " threads=" << refine_threads;
+        << " threads=" << refine_threads << " shards=" << grid_shards
+        << " queue=" << queue_depth;
     ASSERT_EQ(batched.final_set.size(), sequential.final_set.size());
     for (size_t i = 0; i < batched.final_set.size(); ++i) {
       EXPECT_EQ(batched.final_set[i].rid_a, sequential.final_set[i].rid_a);
@@ -171,11 +181,23 @@ std::vector<BatchCombo> BatchCombos() {
   std::vector<BatchCombo> combos;
   for (const char* profile :
        {"Citations", "Anime", "Bikes", "EBooks", "Songs"}) {
+    // The PR-2 batch x threads matrix (shards 1, synchronous)...
     for (const auto& [batch, threads] :
          std::vector<std::pair<int, int>>{{1, 4}, {8, 1}, {8, 4}}) {
-      combos.emplace_back(profile, batch, threads);
+      combos.emplace_back(profile, batch, threads, 1, 0);
     }
+    // ...plus the everything-on configuration per profile: sharded grid +
+    // async ingest + parallel refinement.
+    combos.emplace_back(profile, 8, 4, 4, 2);
   }
+  // Full shards x queue x threads cross on one profile (the acceptance
+  // matrix): isolates each new axis against the sequential oracle.
+  combos.emplace_back("Citations", 8, 1, 4, 0);
+  combos.emplace_back("Citations", 8, 4, 4, 0);
+  combos.emplace_back("Citations", 8, 1, 1, 2);
+  combos.emplace_back("Citations", 8, 4, 1, 2);
+  combos.emplace_back("Citations", 8, 1, 4, 2);
+  combos.emplace_back("Citations", 1, 1, 4, 2);  // async with batch 1
   return combos;
 }
 
@@ -185,7 +207,11 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, BatchEquivalenceSweepTest,
                            return std::get<0>(info.param) + "_b" +
                                   std::to_string(std::get<1>(info.param)) +
                                   "_t" +
-                                  std::to_string(std::get<2>(info.param));
+                                  std::to_string(std::get<2>(info.param)) +
+                                  "_s" +
+                                  std::to_string(std::get<3>(info.param)) +
+                                  "_q" +
+                                  std::to_string(std::get<4>(info.param));
                          });
 
 }  // namespace

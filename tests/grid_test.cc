@@ -3,7 +3,7 @@
 #include <memory>
 
 #include "er/similarity.h"
-#include "synopsis/er_grid.h"
+#include "synopsis/sharded_er_grid.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -18,7 +18,7 @@ class ErGridTest : public ::testing::Test {
   ErGridTest()
       : world_(MakeHealthWorld()),
         topic_(*world_.dict, {"diabetes"}),
-        grid_(world_.repo->num_attributes(), 0.2) {}
+        grid_(world_.repo->num_attributes(), 0.2, /*num_shards=*/1) {}
 
   std::shared_ptr<WindowTuple> MakeTuple(
       int64_t rid, int stream, const std::vector<std::string>& texts) {
@@ -33,7 +33,7 @@ class ErGridTest : public ::testing::Test {
 
   ToyWorld world_;
   TopicQuery topic_;
-  ErGrid grid_;
+  ShardedErGrid grid_;
   std::vector<std::shared_ptr<WindowTuple>> keep_alive_;
 };
 
@@ -57,7 +57,7 @@ TEST_F(ErGridTest, CandidatesExcludeSameStream) {
   auto other = MakeTuple(3, 1, {"male", "fever", "flu", "rest"});
   grid_.Insert(same.get());
   grid_.Insert(other.get());
-  ErGrid::CandidateResult result =
+  ShardedErGrid::CandidateResult result =
       grid_.Candidates(*probe, /*gamma=*/2.0, /*topic_constrained=*/false);
   ASSERT_EQ(result.candidates.size(), 1u);
   EXPECT_EQ(result.candidates[0]->rid(), 3);
@@ -69,7 +69,7 @@ TEST_F(ErGridTest, TopicPruningRemovesNonTopicalPairs) {
   auto probe = MakeTuple(1, 0, {"male", "fever", "flu", "rest"});
   auto member = MakeTuple(2, 1, {"male", "fever", "flu", "rest"});
   grid_.Insert(member.get());
-  ErGrid::CandidateResult result =
+  ShardedErGrid::CandidateResult result =
       grid_.Candidates(*probe, /*gamma=*/2.0, /*topic_constrained=*/true);
   EXPECT_TRUE(result.candidates.empty());
   EXPECT_EQ(result.topic_pruned, 1u);
@@ -106,7 +106,7 @@ TEST_F(ErGridTest, CandidatesAreSupersetOfTrueMatches) {
   for (int p = 0; p < 10; ++p) {
     auto probe =
         MakeTuple(1000 + p, 0, pool[rng.NextBounded(pool.size())]);
-    ErGrid::CandidateResult result =
+    ShardedErGrid::CandidateResult result =
         grid_.Candidates(*probe, gamma, /*topic_constrained=*/false);
     for (const auto& member : members) {
       const double sim =
@@ -133,7 +133,7 @@ TEST_F(ErGridTest, RemovalUpdatesAggregates) {
   grid_.Insert(flu.get());
   auto probe = MakeTuple(3, 0, {"female", "cough", "flu", "rest"});
   // Probe is non-topical; only the diabetic member is a viable partner.
-  ErGrid::CandidateResult result = grid_.Candidates(*probe, 0.5, true);
+  ShardedErGrid::CandidateResult result = grid_.Candidates(*probe, 0.5, true);
   EXPECT_EQ(result.candidates.size(), 1u);
 
   grid_.Remove(diabetic.get());
