@@ -1,9 +1,11 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <memory>
 
 #include "datagen/profiles.h"
@@ -23,11 +25,52 @@ double EnvScale() {
 int EnvInt(const char* name, int fallback, int min_value) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') {
+    // Unset — and the conventional exported-empty spelling of unset.
     return fallback;
   }
-  const int v = std::atoi(env);
-  return v >= min_value ? v : fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr,
+                 "%s: '%s' is not an integer (trailing garbage rejected); "
+                 "using default %d\n",
+                 name, env, fallback);
+    return fallback;
+  }
+  if (errno == ERANGE ||
+      v < static_cast<long>(std::numeric_limits<int>::min()) ||
+      v > static_cast<long>(std::numeric_limits<int>::max())) {
+    std::fprintf(stderr, "%s: '%s' overflows int; using default %d\n", name,
+                 env, fallback);
+    return fallback;
+  }
+  if (v < min_value) {
+    std::fprintf(stderr, "%s: %ld is below the minimum %d; using default %d\n",
+                 name, v, min_value, fallback);
+    return fallback;
+  }
+  return static_cast<int>(v);
 }
+
+namespace {
+
+RepoBackend EnvRepoBackend() {
+  const char* env = std::getenv("TERIDS_BENCH_REPO_BACKEND");
+  RepoBackend backend = RepoBackend::kInMemory;
+  if (env == nullptr || env[0] == '\0') {
+    return backend;
+  }
+  if (!ParseRepoBackend(env, &backend)) {
+    std::fprintf(stderr,
+                 "TERIDS_BENCH_REPO_BACKEND: '%s' is not a backend "
+                 "(expected 'memory' or 'mmap'); using default 'memory'\n",
+                 env);
+  }
+  return backend;
+}
+
+}  // namespace
 
 ExecKnobs EnvExecKnobs() {
   ExecKnobs knobs;
@@ -35,6 +78,7 @@ ExecKnobs EnvExecKnobs() {
   knobs.refine_threads = EnvInt("TERIDS_BENCH_THREADS", 1, 1);
   knobs.grid_shards = EnvInt("TERIDS_BENCH_SHARDS", 1, 1);
   knobs.ingest_queue_depth = EnvInt("TERIDS_BENCH_QUEUE", 0, 0);
+  knobs.repo_backend = EnvRepoBackend();
   return knobs;
 }
 
@@ -55,6 +99,7 @@ ExperimentParams BaseParams(const std::string& dataset) {
   params.refine_threads = knobs.refine_threads;
   params.grid_shards = knobs.grid_shards;
   params.ingest_queue_depth = knobs.ingest_queue_depth;
+  params.repo_backend = knobs.repo_backend;
   return params;
 }
 
@@ -148,7 +193,8 @@ JsonReporter::Row& JsonReporter::AddKnobRow(const ExecKnobs& knobs) {
       .Num("batch_size", knobs.batch_size)
       .Num("refine_threads", knobs.refine_threads)
       .Num("grid_shards", knobs.grid_shards)
-      .Num("ingest_queue_depth", knobs.ingest_queue_depth);
+      .Num("ingest_queue_depth", knobs.ingest_queue_depth)
+      .Str("repo_backend", RepoBackendName(knobs.repo_backend));
 }
 
 JsonReporter::~JsonReporter() {
@@ -174,10 +220,11 @@ void PrintHeader(const std::string& figure, const std::string& title,
   std::printf(
       "defaults (Table 5, scaled): alpha=%.1f rho=%.1f xi=%.1f eta=%.1f "
       "w=%d m=%d scale=%.3f arrivals=%d bench_scale=%.2f batch=%d "
-      "threads=%d shards=%d queue=%d\n",
+      "threads=%d shards=%d queue=%d repo=%s\n",
       params.alpha, params.rho, params.xi, params.eta, params.w, params.m,
       params.scale, params.max_arrivals, EnvScale(), params.batch_size,
-      params.refine_threads, params.grid_shards, params.ingest_queue_depth);
+      params.refine_threads, params.grid_shards, params.ingest_queue_depth,
+      RepoBackendName(params.repo_backend));
 }
 
 namespace {

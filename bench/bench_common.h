@@ -17,23 +17,29 @@ namespace bench {
 /// values > 1 approach the paper's sizes at the cost of wall time.
 double EnvScale();
 
-/// Integer environment knob with a lower bound: unset or unparsable values
-/// fall back to `fallback`, parsed values are clamped to >= `min_value`.
+/// Integer environment knob with a lower bound. Unset variables fall back
+/// to `fallback` silently. A set variable must be a fully valid integer in
+/// range: malformed values (empty, non-numeric, trailing garbage like
+/// "8x"), values that overflow int, and values below `min_value` are all
+/// rejected with a clear one-line stderr message before falling back —
+/// a typo'd knob must never silently reconfigure a benchmark run.
 /// The one shared parser behind every TERIDS_BENCH_* execution knob.
 int EnvInt(const char* name, int fallback, int min_value);
 
-/// The four execution-model knobs, parsed once from TERIDS_BENCH_BATCH /
+/// The execution-model knobs, parsed once from TERIDS_BENCH_BATCH /
 /// TERIDS_BENCH_THREADS / TERIDS_BENCH_SHARDS / TERIDS_BENCH_QUEUE
-/// (defaults 1/1/1/0 = the classic one-at-a-time synchronous operator).
-/// Every bench that replays arrivals through Experiment::Run inherits them
-/// via BaseParams, so any figure can be reproduced under micro-batching,
-/// parallel refinement, grid sharding, and async ingest without code
-/// changes.
+/// (defaults 1/1/1/0 = the classic one-at-a-time synchronous operator)
+/// plus the repository storage backend from TERIDS_BENCH_REPO_BACKEND
+/// ("memory" | "mmap", default memory). Every bench that replays arrivals
+/// through Experiment::Run inherits them via BaseParams, so any figure can
+/// be reproduced under micro-batching, parallel refinement, grid sharding,
+/// async ingest, and either storage backend without code changes.
 struct ExecKnobs {
   int batch_size = 1;
   int refine_threads = 1;
   int grid_shards = 1;
   int ingest_queue_depth = 0;
+  RepoBackend repo_backend = RepoBackend::kInMemory;
 };
 ExecKnobs EnvExecKnobs();
 

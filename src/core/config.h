@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "repo/repo_backend.h"
+
 namespace terids {
 
 /// Identifies one of the evaluated processing pipelines (Section 6.1).
@@ -56,6 +58,13 @@ struct EngineConfig {
   /// imputation/candidate generation of batch k+1 overlaps refinement of
   /// batch k, at most this many batches ahead.
   int ingest_queue_depth = 0;
+  /// Physical storage backend behind the repository R the engines read
+  /// (DESIGN.md §8). Engines never construct repositories themselves —
+  /// Experiment::BuildRepository consults this (building and mmapping a
+  /// snapshot for kMmapSnapshot) — but the selector rides in the config so
+  /// runs record which backend produced them and bench artifacts stay
+  /// distinguishable. Every backend yields bit-identical results.
+  RepoBackend repo_backend = RepoBackend::kInMemory;
 };
 
 }  // namespace terids

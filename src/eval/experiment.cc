@@ -1,12 +1,14 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <unordered_set>
 
 #include "er/similarity.h"
 #include "er/topic.h"
 #include "pivot/pivot_selector.h"
+#include "repo/snapshot_writer.h"
 #include "rules/rule_miner.h"
 #include "stream/stream_driver.h"
 #include "util/stopwatch.h"
@@ -119,13 +121,30 @@ void Experiment::ComputeEffectiveTruth() {
 }
 
 std::unique_ptr<Repository> Experiment::BuildRepository() const {
+  return BuildRepository(params_.repo_backend);
+}
+
+std::unique_ptr<Repository> Experiment::BuildRepository(
+    RepoBackend backend) const {
   auto repo =
       std::make_unique<Repository>(dataset_.schema.get(), dataset_.dict.get());
   for (const Record& r : dataset_.repo_records) {
     TERIDS_CHECK(repo->AddSample(r).ok());
   }
   repo->AttachPivots(pivots_);
-  return repo;
+  if (backend == RepoBackend::kInMemory) {
+    return repo;
+  }
+  // Snapshot backend: serialize the in-memory build once, reopen it
+  // read-only via mmap, and discard both the oracle and the file (the
+  // mapping keeps the pages alive on POSIX).
+  const std::string path = UniqueSnapshotPath("terids-snap");
+  TERIDS_CHECK(WriteRepositorySnapshot(*repo, path).ok());
+  Result<std::unique_ptr<Repository>> reopened = Repository::OpenSnapshot(
+      dataset_.schema.get(), dataset_.dict.get(), path);
+  std::remove(path.c_str());
+  TERIDS_CHECK(reopened.ok());
+  return std::move(reopened).value();
 }
 
 EngineConfig Experiment::MakeConfig() const {
@@ -145,6 +164,7 @@ EngineConfig Experiment::MakeConfig() const {
   config.refine_threads = params_.refine_threads;
   config.grid_shards = params_.grid_shards;
   config.ingest_queue_depth = params_.ingest_queue_depth;
+  config.repo_backend = params_.repo_backend;
   return config;
 }
 

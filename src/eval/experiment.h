@@ -39,6 +39,11 @@ struct ExperimentParams {
   int refine_threads = 1;
   int grid_shards = 1;
   int ingest_queue_depth = 0;
+  /// Repository storage backend each Run()'s fresh repository uses. With
+  /// kMmapSnapshot, BuildRepository serializes the in-memory build into a
+  /// temporary snapshot file and reopens it via mmap — results are
+  /// bit-identical to kInMemory (the equivalence sweep enforces it).
+  RepoBackend repo_backend = RepoBackend::kInMemory;
 };
 
 /// One pipeline's measured run.
@@ -92,9 +97,13 @@ class Experiment {
   double pivot_selection_seconds() const { return pivot_seconds_; }
   double rule_mining_seconds() const { return mining_seconds_; }
 
-  /// Builds a fresh repository with pivots attached (public so ablation
-  /// benches can construct custom engines).
+  /// Builds a fresh repository with pivots attached, on the backend
+  /// params().repo_backend selects (public so ablation benches can
+  /// construct custom engines).
   std::unique_ptr<Repository> BuildRepository() const;
+  /// Same, with an explicit backend override (backend-comparison benches
+  /// and the storage equivalence sweep).
+  std::unique_ptr<Repository> BuildRepository(RepoBackend backend) const;
   EngineConfig MakeConfig() const;
 
  private:

@@ -28,9 +28,8 @@ void AccumulateCandidates(const Repository& repo, const CddRule& rule,
                           size_t sample_idx, bool use_coord_filter,
                           std::unordered_map<ValueId, double>* freq) {
   const int j = rule.dependent;
-  const AttributeDomain& dom = repo.domain(j);
   const ValueId svid = repo.sample_value_id(sample_idx, j);
-  const TokenSet& s_tokens = dom.tokens(svid);
+  const TokenSet& s_tokens = repo.value_tokens(j, svid);
   const Interval& dep = rule.dep_interval;
 
   if (use_coord_filter && repo.has_pivots()) {
@@ -41,14 +40,15 @@ void AccumulateCandidates(const Repository& repo, const CddRule& rule,
     const Interval band =
         Interval::Of(coord_s - dep.hi, coord_s + dep.hi);
     for (ValueId val : repo.ValuesInCoordRange(j, band)) {
-      const double dist = JaccardDistance(s_tokens, dom.tokens(val));
+      const double dist = JaccardDistance(s_tokens, repo.value_tokens(j, val));
       if (dep.Contains(dist)) {
         (*freq)[val] += 1.0;
       }
     }
   } else {
-    for (ValueId val = 0; val < dom.size(); ++val) {
-      const double dist = JaccardDistance(s_tokens, dom.tokens(val));
+    const size_t dom_size = repo.domain_size(j);
+    for (ValueId val = 0; val < dom_size; ++val) {
+      const double dist = JaccardDistance(s_tokens, repo.value_tokens(j, val));
       if (dep.Contains(dist)) {
         (*freq)[val] += 1.0;
       }

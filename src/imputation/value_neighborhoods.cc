@@ -29,15 +29,15 @@ const std::vector<std::pair<double, ValueId>>& ValueNeighborhoods::Neighborhood(
     return it->second;
   }
   const double radius = radius_[attr];
-  const AttributeDomain& dom = repo_->domain(attr);
-  const TokenSet& center = dom.tokens(vid);
+  const TokenSet& center = repo_->value_tokens(attr, vid);
   const double coord = repo_->coord(attr, vid);
   std::vector<std::pair<double, ValueId>> neighbors;
   // |coord(v) - coord(center)| <= dist(v, center): the coordinate band is a
   // sound prefilter for the radius ball.
   for (ValueId other : repo_->ValuesInCoordRange(
            attr, Interval::Of(coord - radius, coord + radius))) {
-    const double dist = JaccardDistance(center, dom.tokens(other));
+    const double dist =
+        JaccardDistance(center, repo_->value_tokens(attr, other));
     if (dist <= radius) {
       neighbors.emplace_back(dist, other);
     }

@@ -127,7 +127,7 @@ void CddIndex::ProbeGroup(
             return;
           }
           if (!(r.values[attr].tokens ==
-                repo_->domain(attr).tokens(constraint.constant_vid))) {
+                repo_->value_tokens(attr, constraint.constant_vid))) {
             return;
           }
         }

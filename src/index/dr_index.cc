@@ -41,7 +41,7 @@ ArTreeEntry DrIndex::MakeEntry(size_t sample_idx) const {
           Interval::Point(repo_->pivot_distance(x, a, vid)));
     }
     entry.agg.size_intervals[x] = Interval::Point(
-        static_cast<double>(repo_->domain(x).tokens(vid).size()));
+        static_cast<double>(repo_->value_tokens(x, vid).size()));
   }
   return entry;
 }

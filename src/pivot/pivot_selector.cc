@@ -65,9 +65,9 @@ double PivotSelector::JointEntropy(
 }
 
 AttributePivots PivotSelector::SelectForAttribute(int attr) const {
-  const AttributeDomain& dom = repo_->domain(attr);
+  const size_t dom_size = repo_->domain_size(attr);
   AttributePivots result;
-  if (dom.size() == 0) {
+  if (dom_size == 0) {
     result.pivots.push_back(TokenSet());
     return result;
   }
@@ -78,22 +78,22 @@ AttributePivots PivotSelector::SelectForAttribute(int attr) const {
   // entropy is estimated over.
   std::vector<ValueId> eval_set;
   if (options_.eval_samples <= 0 ||
-      dom.size() <= static_cast<size_t>(options_.eval_samples)) {
-    for (ValueId v = 0; v < dom.size(); ++v) eval_set.push_back(v);
+      dom_size <= static_cast<size_t>(options_.eval_samples)) {
+    for (ValueId v = 0; v < dom_size; ++v) eval_set.push_back(v);
   } else {
     for (int i = 0; i < options_.eval_samples; ++i) {
-      eval_set.push_back(static_cast<ValueId>(rng.NextBounded(dom.size())));
+      eval_set.push_back(static_cast<ValueId>(rng.NextBounded(dom_size)));
     }
   }
 
   // Candidate pivots.
   std::vector<ValueId> candidates;
   if (options_.candidate_samples <= 0 ||
-      dom.size() <= static_cast<size_t>(options_.candidate_samples)) {
-    for (ValueId v = 0; v < dom.size(); ++v) candidates.push_back(v);
+      dom_size <= static_cast<size_t>(options_.candidate_samples)) {
+    for (ValueId v = 0; v < dom_size; ++v) candidates.push_back(v);
   } else {
     for (int i = 0; i < options_.candidate_samples; ++i) {
-      candidates.push_back(static_cast<ValueId>(rng.NextBounded(dom.size())));
+      candidates.push_back(static_cast<ValueId>(rng.NextBounded(dom_size)));
     }
   }
 
@@ -101,9 +101,10 @@ AttributePivots PivotSelector::SelectForAttribute(int attr) const {
   std::vector<std::vector<double>> cand_coords(candidates.size());
   for (size_t c = 0; c < candidates.size(); ++c) {
     cand_coords[c].reserve(eval_set.size());
-    const TokenSet& piv = dom.tokens(candidates[c]);
+    const TokenSet& piv = repo_->value_tokens(attr, candidates[c]);
     for (ValueId v : eval_set) {
-      cand_coords[c].push_back(JaccardDistance(dom.tokens(v), piv));
+      cand_coords[c].push_back(
+          JaccardDistance(repo_->value_tokens(attr, v), piv));
     }
   }
 
@@ -149,7 +150,7 @@ AttributePivots PivotSelector::SelectForAttribute(int attr) const {
   }
 
   for (size_t c : chosen) {
-    result.pivots.push_back(dom.tokens(candidates[c]));
+    result.pivots.push_back(repo_->value_tokens(attr, candidates[c]));
   }
   return result;
 }

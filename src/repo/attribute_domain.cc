@@ -1,0 +1,56 @@
+#include "repo/attribute_domain.h"
+
+#include "util/hash.h"
+
+namespace terids {
+
+uint64_t AttributeDomain::HashTokens(const TokenSet& tokens) {
+  // FNV-1a over the sorted token ids; collisions are resolved by the
+  // multimap probe in Find/FindOrAdd.
+  uint64_t h = kFnv1aOffsetBasis;
+  for (Token t : tokens.tokens()) {
+    h = Fnv1aMix(h, t);
+  }
+  return h;
+}
+
+ValueId AttributeDomain::FindOrAdd(const TokenSet& tokens,
+                                   const std::string& text) {
+  ValueId existing = Find(tokens);
+  if (existing != kInvalidValueId) {
+    return existing;
+  }
+  ValueId id = static_cast<ValueId>(values_.size());
+  by_hash_.emplace(HashTokens(tokens), id);
+  values_.push_back(tokens);
+  texts_.push_back(text);
+  frequencies_.push_back(0);
+  return id;
+}
+
+ValueId AttributeDomain::Find(const TokenSet& tokens) const {
+  auto [begin, end] = by_hash_.equal_range(HashTokens(tokens));
+  for (auto it = begin; it != end; ++it) {
+    if (values_[it->second] == tokens) {
+      return it->second;
+    }
+  }
+  return kInvalidValueId;
+}
+
+const TokenSet& AttributeDomain::tokens(ValueId id) const {
+  TERIDS_CHECK(id < values_.size());
+  return values_[id];
+}
+
+const std::string& AttributeDomain::text(ValueId id) const {
+  TERIDS_CHECK(id < texts_.size());
+  return texts_[id];
+}
+
+int AttributeDomain::frequency(ValueId id) const {
+  TERIDS_CHECK(id < frequencies_.size());
+  return frequencies_[id];
+}
+
+}  // namespace terids

@@ -1,0 +1,60 @@
+#ifndef TERIDS_REPO_ATTRIBUTE_DOMAIN_H_
+#define TERIDS_REPO_ATTRIBUTE_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/token_set.h"
+#include "util/status.h"
+
+namespace terids {
+
+/// Identifier of a distinct attribute value inside an AttributeDomain.
+using ValueId = uint32_t;
+inline constexpr ValueId kInvalidValueId = static_cast<ValueId>(-1);
+
+/// The domain dom(A_x) of one attribute: all distinct values observed in the
+/// data repository R, deduplicated by token set. Imputation candidates are
+/// always ValueIds into a domain (Section 3).
+///
+/// This is the in-memory building block of InMemoryStorage (and the delta
+/// overlay of MmapSnapshotStorage); engine code reads domains through the
+/// backend-neutral Repository accessors instead.
+class AttributeDomain {
+ public:
+  AttributeDomain() = default;
+
+  /// Adds (or finds) a value; returns its id. `text` is kept for display.
+  ValueId FindOrAdd(const TokenSet& tokens, const std::string& text);
+
+  /// Id of an existing value with this exact token set, or kInvalidValueId.
+  ValueId Find(const TokenSet& tokens) const;
+
+  size_t size() const { return values_.size(); }
+  const TokenSet& tokens(ValueId id) const;
+  const std::string& text(ValueId id) const;
+
+  /// Number of repository samples carrying this value (editing-rule mining
+  /// uses this to pick frequent constants).
+  int frequency(ValueId id) const;
+  void BumpFrequency(ValueId id) {
+    TERIDS_CHECK(id < frequencies_.size());
+    ++frequencies_[id];
+  }
+
+  /// FNV-1a over the sorted token ids; the interning hash shared with the
+  /// snapshot backend's base-value lookup table.
+  static uint64_t HashTokens(const TokenSet& tokens);
+
+ private:
+  std::vector<TokenSet> values_;
+  std::vector<std::string> texts_;
+  std::vector<int> frequencies_;
+  std::unordered_multimap<uint64_t, ValueId> by_hash_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_REPO_ATTRIBUTE_DOMAIN_H_

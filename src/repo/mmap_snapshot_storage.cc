@@ -1,0 +1,476 @@
+#include "repo/mmap_snapshot_storage.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "repo/snapshot_format.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TERIDS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace terids {
+
+// ---------------------------------------------------------------------------
+// Mapping
+// ---------------------------------------------------------------------------
+
+Status MmapSnapshotStorage::MapFile(const std::string& path) {
+#if TERIDS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open snapshot: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::Internal("cannot stat snapshot: " + path);
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  if (len == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("snapshot is empty: " + path);
+  }
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps the file alive; the fd is not needed.
+  if (base == MAP_FAILED) {
+    return Status::Internal("mmap failed for snapshot: " + path);
+  }
+  map_base_ = base;
+  map_len_ = len;
+  data_ = static_cast<const char*>(base);
+  size_ = len;
+  return Status::Ok();
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::NotFound("cannot open snapshot: " + path);
+  }
+  const std::streamsize len = in.tellg();
+  if (len <= 0) {
+    return Status::InvalidArgument("snapshot is empty: " + path);
+  }
+  heap_.resize(static_cast<size_t>(len));
+  in.seekg(0);
+  in.read(heap_.data(), len);
+  if (!in) {
+    return Status::Internal("short read from snapshot: " + path);
+  }
+  data_ = heap_.data();
+  size_ = heap_.size();
+  return Status::Ok();
+#endif
+}
+
+void MmapSnapshotStorage::Unmap() {
+#if TERIDS_HAVE_MMAP
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_len_);
+    map_base_ = nullptr;
+    map_len_ = 0;
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+}
+
+MmapSnapshotStorage::~MmapSnapshotStorage() { Unmap(); }
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+Status MmapSnapshotStorage::Parse(int num_attributes, const TokenDict* dict) {
+  if (size_ < sizeof(snapshot::Header)) {
+    return Status::InvalidArgument("snapshot smaller than its header");
+  }
+  snapshot::Header header;
+  std::memcpy(&header, data_, sizeof(header));
+  if (std::memcmp(header.magic, snapshot::kMagic, sizeof(header.magic)) != 0) {
+    return Status::InvalidArgument("snapshot magic mismatch (not a snapshot)");
+  }
+  if (header.version != snapshot::kVersion) {
+    return Status::InvalidArgument(
+        "snapshot version " + std::to_string(header.version) +
+        " unsupported (expected " + std::to_string(snapshot::kVersion) + ")");
+  }
+  if (header.num_attributes != static_cast<uint32_t>(num_attributes)) {
+    return Status::FailedPrecondition(
+        "snapshot has " + std::to_string(header.num_attributes) +
+        " attributes; schema has " + std::to_string(num_attributes));
+  }
+  if (header.dict_tokens > dict->size()) {
+    return Status::FailedPrecondition(
+        "snapshot references " + std::to_string(header.dict_tokens) +
+        " interned tokens; dictionary holds " + std::to_string(dict->size()));
+  }
+  const char* payload = data_ + sizeof(header);
+  const size_t payload_len = size_ - sizeof(header);
+  if (header.payload_bytes != payload_len) {
+    return Status::InvalidArgument("snapshot payload truncated");
+  }
+  if (snapshot::Checksum(payload, payload_len) != header.payload_checksum) {
+    return Status::InvalidArgument("snapshot payload checksum mismatch");
+  }
+
+  d_ = num_attributes;
+  has_pivots_ = header.has_pivots != 0;
+  base_samples_ = header.num_samples;
+
+  snapshot::Cursor cur(payload, payload_len);
+  auto truncated = [] {
+    return Status::InvalidArgument("snapshot payload ran short while parsing");
+  };
+
+  // ---- Domains ---------------------------------------------------------
+  base_.resize(static_cast<size_t>(d_));
+  for (int x = 0; x < d_; ++x) {
+    BaseDomain& dom = base_[x];
+    uint64_t dom_size = 0;
+    uint64_t total_tokens = 0;
+    if (!cur.ReadU64(&dom_size)) return truncated();
+    if (!cur.ReadU64(&total_tokens)) return truncated();
+    const Token* token_ids = cur.Array<Token>(total_tokens);
+    const uint64_t* token_offsets = cur.Array<uint64_t>(dom_size + 1);
+    uint64_t text_bytes = 0;
+    if (!cur.ReadU64(&text_bytes)) return truncated();
+    const char* text_blob = cur.Array<char>(text_bytes);
+    const uint64_t* text_offsets = cur.Array<uint64_t>(dom_size + 1);
+    const int32_t* freqs = cur.Array<int32_t>(dom_size);
+    if (!cur.ok()) return truncated();
+
+    dom.size = dom_size;
+    dom.freqs = freqs;
+    dom.tokens.reserve(dom_size);
+    dom.texts.reserve(dom_size);
+    for (uint64_t v = 0; v < dom_size; ++v) {
+      if (token_offsets[v] > token_offsets[v + 1] ||
+          token_offsets[v + 1] > total_tokens ||
+          text_offsets[v] > text_offsets[v + 1] ||
+          text_offsets[v + 1] > text_bytes) {
+        return Status::InvalidArgument("snapshot domain offsets corrupt");
+      }
+      std::vector<Token> ts(token_ids + token_offsets[v],
+                            token_ids + token_offsets[v + 1]);
+      for (Token t : ts) {
+        if (t >= header.dict_tokens) {
+          return Status::FailedPrecondition(
+              "snapshot token id outside the dictionary it was built with");
+        }
+      }
+      // The stored runs are already sorted + deduplicated; FromTokens
+      // re-normalizes, which is a no-op on well-formed input and heals a
+      // hand-edited file instead of breaking merge invariants downstream.
+      dom.tokens.push_back(TokenSet::FromTokens(std::move(ts)));
+      dom.texts.emplace_back(text_blob + text_offsets[v],
+                             text_blob + text_offsets[v + 1]);
+      dom.by_hash.emplace(AttributeDomain::HashTokens(dom.tokens.back()),
+                          static_cast<ValueId>(v));
+    }
+  }
+
+  // ---- Pivot geometry --------------------------------------------------
+  if (has_pivots_) {
+    pivots_.resize(static_cast<size_t>(d_));
+    for (int x = 0; x < d_; ++x) {
+      uint64_t np = 0;
+      if (!cur.ReadU64(&np)) return truncated();
+      if (np == 0) {
+        return Status::InvalidArgument("snapshot attribute has zero pivots");
+      }
+      for (uint64_t a = 0; a < np; ++a) {
+        uint64_t ntokens = 0;
+        if (!cur.ReadU64(&ntokens)) return truncated();
+        const Token* ptokens = cur.Array<Token>(ntokens);
+        if (!cur.ok()) return truncated();
+        pivots_[x].pivots.push_back(TokenSet::FromTokens(
+            std::vector<Token>(ptokens, ptokens + ntokens)));
+      }
+    }
+    for (int x = 0; x < d_; ++x) {
+      base_[x].dists.resize(pivots_[x].pivots.size());
+      for (size_t a = 0; a < pivots_[x].pivots.size(); ++a) {
+        base_[x].dists[a] = cur.Array<double>(base_[x].size);
+      }
+    }
+    for (int x = 0; x < d_; ++x) {
+      base_[x].coord_keys = cur.Array<double>(base_[x].size);
+      base_[x].coord_vids = cur.Array<uint32_t>(base_[x].size);
+    }
+    if (!cur.ok()) return truncated();
+  }
+
+  // ---- Samples ---------------------------------------------------------
+  const size_t n = base_samples_;
+  const int64_t* rids = cur.Array<int64_t>(n);
+  const int32_t* streams = cur.Array<int32_t>(n);
+  const int64_t* timestamps = cur.Array<int64_t>(n);
+  base_sample_vids_ = cur.Array<uint32_t>(n * static_cast<size_t>(d_));
+  uint64_t sample_text_bytes = 0;
+  if (!cur.ok() || !cur.ReadU64(&sample_text_bytes)) return truncated();
+  const char* sample_texts = cur.Array<char>(sample_text_bytes);
+  const uint64_t* sample_text_offsets =
+      cur.Array<uint64_t>(n * static_cast<size_t>(d_) + 1);
+  if (!cur.ok()) return truncated();
+
+  base_records_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Record r;
+    r.rid = rids[i];
+    r.stream_id = streams[i];
+    r.timestamp = timestamps[i];
+    r.values.resize(static_cast<size_t>(d_));
+    for (int x = 0; x < d_; ++x) {
+      const size_t cell = i * static_cast<size_t>(d_) + x;
+      const ValueId vid = base_sample_vids_[cell];
+      if (vid >= base_[x].size ||
+          sample_text_offsets[cell] > sample_text_offsets[cell + 1] ||
+          sample_text_offsets[cell + 1] > sample_text_bytes) {
+        return Status::InvalidArgument("snapshot sample table corrupt");
+      }
+      AttrValue& v = r.values[x];
+      v.missing = false;
+      v.tokens = base_[x].tokens[vid];
+      v.text.assign(sample_texts + sample_text_offsets[cell],
+                    sample_texts + sample_text_offsets[cell + 1]);
+    }
+    base_records_.push_back(std::move(r));
+  }
+
+  // ---- Overlay scaffolding --------------------------------------------
+  overlay_.resize(static_cast<size_t>(d_));
+  for (int x = 0; x < d_; ++x) {
+    overlay_[x].dists.resize(has_pivots_ ? pivots_[x].pivots.size() : 0);
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<MmapSnapshotStorage>> MmapSnapshotStorage::Open(
+    int num_attributes, const TokenDict* dict, const std::string& path) {
+  TERIDS_CHECK(dict != nullptr);
+  TERIDS_CHECK(num_attributes >= 1);
+  std::unique_ptr<MmapSnapshotStorage> storage(new MmapSnapshotStorage());
+  Status status = storage->MapFile(path);
+  if (!status.ok()) {
+    return status;
+  }
+  status = storage->Parse(num_attributes, dict);
+  if (!status.ok()) {
+    return status;
+  }
+  return storage;
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+size_t MmapSnapshotStorage::domain_size(int attr) const {
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  return base_[attr].size + overlay_[attr].extra.size();
+}
+
+const TokenSet& MmapSnapshotStorage::value_tokens(int attr, ValueId id) const {
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  const BaseDomain& dom = base_[attr];
+  if (id < dom.size) {
+    return dom.tokens[id];
+  }
+  return overlay_[attr].extra.tokens(id - static_cast<ValueId>(dom.size));
+}
+
+const std::string& MmapSnapshotStorage::value_text(int attr,
+                                                   ValueId id) const {
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  const BaseDomain& dom = base_[attr];
+  if (id < dom.size) {
+    return dom.texts[id];
+  }
+  return overlay_[attr].extra.text(id - static_cast<ValueId>(dom.size));
+}
+
+int MmapSnapshotStorage::value_frequency(int attr, ValueId id) const {
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  const BaseDomain& dom = base_[attr];
+  const DomainOverlay& over = overlay_[attr];
+  if (id < dom.size) {
+    const auto it = over.base_freq_delta.find(id);
+    return dom.freqs[id] + (it == over.base_freq_delta.end() ? 0 : it->second);
+  }
+  return over.extra.frequency(id - static_cast<ValueId>(dom.size));
+}
+
+ValueId MmapSnapshotStorage::FindValue(int attr, const TokenSet& tokens) const {
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  const BaseDomain& dom = base_[attr];
+  const uint64_t h = AttributeDomain::HashTokens(tokens);
+  auto [begin, end] = dom.by_hash.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (dom.tokens[it->second] == tokens) {
+      return it->second;
+    }
+  }
+  const ValueId local = overlay_[attr].extra.Find(tokens);
+  if (local == kInvalidValueId) {
+    return kInvalidValueId;
+  }
+  return static_cast<ValueId>(dom.size) + local;
+}
+
+size_t MmapSnapshotStorage::num_samples() const {
+  return base_samples_ + extra_records_.size();
+}
+
+const Record& MmapSnapshotStorage::sample(size_t i) const {
+  TERIDS_CHECK(i < num_samples());
+  if (i < base_samples_) {
+    return base_records_[i];
+  }
+  return extra_records_[i - base_samples_];
+}
+
+ValueId MmapSnapshotStorage::sample_value_id(size_t i, int attr) const {
+  TERIDS_CHECK(i < num_samples());
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  if (i < base_samples_) {
+    return base_sample_vids_[i * static_cast<size_t>(d_) + attr];
+  }
+  return extra_sample_vids_[i - base_samples_][attr];
+}
+
+int MmapSnapshotStorage::num_pivots(int attr) const {
+  TERIDS_CHECK(has_pivots_);
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  return static_cast<int>(pivots_[attr].pivots.size());
+}
+
+const TokenSet& MmapSnapshotStorage::pivot_tokens(int attr,
+                                                  int pivot_idx) const {
+  TERIDS_CHECK(has_pivots_);
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  TERIDS_CHECK(pivot_idx >= 0 && pivot_idx < num_pivots(attr));
+  return pivots_[attr].pivots[pivot_idx];
+}
+
+double MmapSnapshotStorage::pivot_distance(int attr, int pivot_idx,
+                                           ValueId vid) const {
+  TERIDS_CHECK(has_pivots_);
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  TERIDS_CHECK(pivot_idx >= 0 && pivot_idx < num_pivots(attr));
+  const BaseDomain& dom = base_[attr];
+  if (vid < dom.size) {
+    return dom.dists[pivot_idx][vid];
+  }
+  const ValueId local = vid - static_cast<ValueId>(dom.size);
+  const auto& dists = overlay_[attr].dists[pivot_idx];
+  TERIDS_CHECK(local < dists.size());
+  return dists[local];
+}
+
+void MmapSnapshotStorage::AppendValuesInCoordRange(
+    int attr, const Interval& interval, std::vector<ValueId>* out) const {
+  TERIDS_CHECK(has_pivots_);
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  if (interval.empty()) {
+    return;
+  }
+  const BaseDomain& dom = base_[attr];
+  const auto& over = overlay_[attr].sorted_coords;
+  // Merge the immutable base column with the overlay's sorted list in
+  // ascending (coordinate, ValueId) order — the exact sequence the
+  // in-memory backend's single maintained list yields.
+  size_t bi = static_cast<size_t>(
+      std::lower_bound(dom.coord_keys, dom.coord_keys + dom.size,
+                       interval.lo) -
+      dom.coord_keys);
+  auto oi = std::lower_bound(
+      over.begin(), over.end(),
+      std::make_pair(interval.lo, static_cast<ValueId>(0)));
+  while (true) {
+    const bool base_ok = bi < dom.size && dom.coord_keys[bi] <= interval.hi;
+    const bool over_ok = oi != over.end() && oi->first <= interval.hi;
+    if (!base_ok && !over_ok) {
+      break;
+    }
+    if (base_ok &&
+        (!over_ok ||
+         std::make_pair(dom.coord_keys[bi],
+                        static_cast<ValueId>(dom.coord_vids[bi])) < *oi)) {
+      out->push_back(dom.coord_vids[bi]);
+      ++bi;
+    } else {
+      out->push_back(oi->second);
+      ++oi;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Write path: the delta overlay
+// ---------------------------------------------------------------------------
+
+ValueId MmapSnapshotStorage::RegisterValue(int attr, const TokenSet& tokens,
+                                           const std::string& text) {
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  const BaseDomain& dom = base_[attr];
+  // Base values are immutable and deduplicated; only a genuinely new token
+  // set lands in the overlay.
+  {
+    auto [begin, end] =
+        dom.by_hash.equal_range(AttributeDomain::HashTokens(tokens));
+    for (auto it = begin; it != end; ++it) {
+      if (dom.tokens[it->second] == tokens) {
+        return it->second;
+      }
+    }
+  }
+  DomainOverlay& over = overlay_[attr];
+  const size_t before = over.extra.size();
+  const ValueId local = over.extra.FindOrAdd(tokens, text);
+  const ValueId global = static_cast<ValueId>(dom.size) + local;
+  if (over.extra.size() != before && has_pivots_) {
+    const size_t np = pivots_[attr].pivots.size();
+    for (size_t a = 0; a < np; ++a) {
+      over.dists[a].push_back(
+          JaccardDistance(tokens, pivots_[attr].pivots[a]));
+    }
+    const double coord = over.dists[0][local];
+    auto& coords = over.sorted_coords;
+    coords.insert(std::upper_bound(coords.begin(), coords.end(),
+                                   std::make_pair(coord, global)),
+                  std::make_pair(coord, global));
+  }
+  return global;
+}
+
+void MmapSnapshotStorage::BumpFrequency(int attr, ValueId id) {
+  TERIDS_CHECK(attr >= 0 && attr < d_);
+  const BaseDomain& dom = base_[attr];
+  DomainOverlay& over = overlay_[attr];
+  if (id < dom.size) {
+    ++over.base_freq_delta[id];
+    return;
+  }
+  over.extra.BumpFrequency(id - static_cast<ValueId>(dom.size));
+}
+
+void MmapSnapshotStorage::AppendSample(const Record& record,
+                                       std::vector<ValueId> vids) {
+  TERIDS_CHECK(static_cast<int>(vids.size()) == d_);
+  extra_records_.push_back(record);
+  extra_sample_vids_.push_back(std::move(vids));
+}
+
+void MmapSnapshotStorage::AttachPivots(std::vector<AttributePivots> pivots) {
+  (void)pivots;
+  TERIDS_CHECK(false &&
+               "MmapSnapshotStorage is read-only geometry: pivots are baked "
+               "into the snapshot at write time");
+}
+
+}  // namespace terids

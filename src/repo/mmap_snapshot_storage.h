@@ -1,0 +1,130 @@
+#ifndef TERIDS_REPO_MMAP_SNAPSHOT_STORAGE_H_
+#define TERIDS_REPO_MMAP_SNAPSHOT_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "repo/repo_storage.h"
+#include "text/token_dict.h"
+
+namespace terids {
+
+/// Read-mostly Repository backend over a build-once columnar snapshot file
+/// (DESIGN.md §8), opened read-only via mmap.
+///
+/// The base image is immutable: the numeric geometry tables — per-pivot
+/// distance columns, the sorted main-pivot coordinate lists, sample
+/// ValueIds, and value frequencies — are served zero-copy from the
+/// mapping, so the kernel pages them in on demand and can evict them under
+/// pressure (the path to repositories larger than RAM). Domain token sets,
+/// display texts, and sample records are materialized at open in this v1;
+/// making them lazy is future work and does not change the interface.
+///
+/// Dynamic-repository writes (Section 5.5: the constraint imputer's
+/// RegisterValue, AbsorbRepositoryBatch's AddSample) land in an in-memory
+/// delta overlay: new values get ValueIds after the base domain, frequency
+/// bumps on base values go to a side map, and coordinate-range scans merge
+/// the base column with the overlay's sorted list in (coord, ValueId)
+/// order — read results stay bit-identical to the in-memory oracle.
+/// AttachPivots is not supported: the pivot geometry is baked into the
+/// snapshot at write time.
+class MmapSnapshotStorage final : public RepoStorage {
+ public:
+  /// Maps and validates `path` (magic, version, attribute count, payload
+  /// checksum, token ids against `dict`). Returns InvalidArgument /
+  /// FailedPrecondition with a precise reason on any mismatch.
+  static Result<std::unique_ptr<MmapSnapshotStorage>> Open(
+      int num_attributes, const TokenDict* dict, const std::string& path);
+
+  ~MmapSnapshotStorage() override;
+
+  MmapSnapshotStorage(const MmapSnapshotStorage&) = delete;
+  MmapSnapshotStorage& operator=(const MmapSnapshotStorage&) = delete;
+
+  const char* name() const override { return "mmap"; }
+
+  // ---- Read path -------------------------------------------------------
+
+  size_t domain_size(int attr) const override;
+  const TokenSet& value_tokens(int attr, ValueId id) const override;
+  const std::string& value_text(int attr, ValueId id) const override;
+  int value_frequency(int attr, ValueId id) const override;
+  ValueId FindValue(int attr, const TokenSet& tokens) const override;
+
+  size_t num_samples() const override;
+  const Record& sample(size_t i) const override;
+  ValueId sample_value_id(size_t i, int attr) const override;
+
+  bool has_pivots() const override { return has_pivots_; }
+  int num_pivots(int attr) const override;
+  const TokenSet& pivot_tokens(int attr, int pivot_idx) const override;
+  double pivot_distance(int attr, int pivot_idx, ValueId vid) const override;
+  void AppendValuesInCoordRange(int attr, const Interval& interval,
+                                std::vector<ValueId>* out) const override;
+
+  // ---- Write path (delta overlay) --------------------------------------
+
+  ValueId RegisterValue(int attr, const TokenSet& tokens,
+                        const std::string& text) override;
+  void BumpFrequency(int attr, ValueId id) override;
+  void AppendSample(const Record& record, std::vector<ValueId> vids) override;
+  bool SupportsAttachPivots() const override { return false; }
+  void AttachPivots(std::vector<AttributePivots> pivots) override;
+
+ private:
+  MmapSnapshotStorage() = default;
+
+  Status MapFile(const std::string& path);
+  Status Parse(int num_attributes, const TokenDict* dict);
+  void Unmap();
+
+  /// One attribute's immutable base image.
+  struct BaseDomain {
+    size_t size = 0;
+    std::vector<TokenSet> tokens;
+    std::vector<std::string> texts;
+    const int32_t* freqs = nullptr;  // zero-copy column
+    std::unordered_multimap<uint64_t, ValueId> by_hash;
+    // Pivot geometry (zero-copy columns; empty when !has_pivots_).
+    std::vector<const double*> dists;  // dists[a][vid]
+    const double* coord_keys = nullptr;
+    const uint32_t* coord_vids = nullptr;
+  };
+
+  /// One attribute's dynamic delta.
+  struct DomainOverlay {
+    AttributeDomain extra;  // local ids; global id = base.size + local
+    std::unordered_map<ValueId, int> base_freq_delta;
+    std::vector<std::vector<double>> dists;  // dists[a][local id]
+    std::vector<std::pair<double, ValueId>> sorted_coords;  // global ids
+  };
+
+  // Mapping ownership: exactly one of map_base_ (mmap) or heap_ (portable
+  // read fallback) backs data_.
+  void* map_base_ = nullptr;
+  size_t map_len_ = 0;
+  std::vector<char> heap_;
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+
+  int d_ = 0;
+  bool has_pivots_ = false;
+  std::vector<BaseDomain> base_;
+  std::vector<AttributePivots> pivots_;
+
+  size_t base_samples_ = 0;
+  std::vector<Record> base_records_;
+  const uint32_t* base_sample_vids_ = nullptr;  // row-major [i * d_ + attr]
+
+  std::vector<DomainOverlay> overlay_;
+  std::vector<Record> extra_records_;
+  std::vector<std::vector<ValueId>> extra_sample_vids_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_REPO_MMAP_SNAPSHOT_STORAGE_H_

@@ -1,73 +1,36 @@
 #include "repo/repository.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "util/hash.h"
+#include "repo/in_memory_storage.h"
+#include "repo/mmap_snapshot_storage.h"
 
 namespace terids {
 
-// ---------------------------------------------------------------------------
-// AttributeDomain
-// ---------------------------------------------------------------------------
-
-uint64_t AttributeDomain::HashTokens(const TokenSet& tokens) {
-  // FNV-1a over the sorted token ids; collisions are resolved by the
-  // multimap probe in Find/FindOrAdd.
-  uint64_t h = kFnv1aOffsetBasis;
-  for (Token t : tokens.tokens()) {
-    h = Fnv1aMix(h, t);
-  }
-  return h;
-}
-
-ValueId AttributeDomain::FindOrAdd(const TokenSet& tokens,
-                                   const std::string& text) {
-  ValueId existing = Find(tokens);
-  if (existing != kInvalidValueId) {
-    return existing;
-  }
-  ValueId id = static_cast<ValueId>(values_.size());
-  by_hash_.emplace(HashTokens(tokens), id);
-  values_.push_back(tokens);
-  texts_.push_back(text);
-  frequencies_.push_back(0);
-  return id;
-}
-
-ValueId AttributeDomain::Find(const TokenSet& tokens) const {
-  auto [begin, end] = by_hash_.equal_range(HashTokens(tokens));
-  for (auto it = begin; it != end; ++it) {
-    if (values_[it->second] == tokens) {
-      return it->second;
-    }
-  }
-  return kInvalidValueId;
-}
-
-const TokenSet& AttributeDomain::tokens(ValueId id) const {
-  TERIDS_CHECK(id < values_.size());
-  return values_[id];
-}
-
-const std::string& AttributeDomain::text(ValueId id) const {
-  TERIDS_CHECK(id < texts_.size());
-  return texts_[id];
-}
-
-int AttributeDomain::frequency(ValueId id) const {
-  TERIDS_CHECK(id < frequencies_.size());
-  return frequencies_[id];
-}
-
-// ---------------------------------------------------------------------------
-// Repository
-// ---------------------------------------------------------------------------
-
 Repository::Repository(const Schema* schema, const TokenDict* dict)
-    : schema_(schema), dict_(dict) {
+    : Repository(schema, dict, nullptr) {}
+
+Repository::Repository(const Schema* schema, const TokenDict* dict,
+                       std::unique_ptr<RepoStorage> storage)
+    : schema_(schema), dict_(dict), storage_(std::move(storage)) {
   TERIDS_CHECK(schema != nullptr);
   TERIDS_CHECK(dict != nullptr);
-  domains_.resize(schema->num_attributes());
+  if (storage_ == nullptr) {
+    storage_ = std::make_unique<InMemoryStorage>(schema->num_attributes());
+  }
+}
+
+Result<std::unique_ptr<Repository>> Repository::OpenSnapshot(
+    const Schema* schema, const TokenDict* dict, const std::string& path) {
+  TERIDS_CHECK(schema != nullptr);
+  TERIDS_CHECK(dict != nullptr);
+  Result<std::unique_ptr<MmapSnapshotStorage>> storage =
+      MmapSnapshotStorage::Open(schema->num_attributes(), dict, path);
+  if (!storage.ok()) {
+    return storage.status();
+  }
+  return std::make_unique<Repository>(schema, dict,
+                                      std::move(storage).value());
 }
 
 Status Repository::AddSample(const Record& record) {
@@ -82,118 +45,34 @@ Status Repository::AddSample(const Record& record) {
   for (int x = 0; x < record.num_attributes(); ++x) {
     const AttrValue& v = record.values[x];
     ValueId vid = RegisterValue(x, v.tokens, v.text);
-    domains_[x].BumpFrequency(vid);
+    storage_->BumpFrequency(x, vid);
     vids[x] = vid;
   }
-  samples_.push_back(record);
-  sample_vids_.push_back(std::move(vids));
+  storage_->AppendSample(record, std::move(vids));
   return Status::Ok();
 }
 
 ValueId Repository::RegisterValue(int attr, const TokenSet& tokens,
                                   const std::string& text) {
   TERIDS_CHECK(attr >= 0 && attr < num_attributes());
-  const size_t before = domains_[attr].size();
-  const ValueId vid = domains_[attr].FindOrAdd(tokens, text);
-  if (domains_[attr].size() != before && has_pivots()) {
-    // New value after pivots were attached: extend the distance tables and
-    // the sorted coordinate list incrementally.
-    const int np = pivots_[attr].count();
-    for (int a = 0; a < np; ++a) {
-      pivot_dists_[attr][a].push_back(
-          JaccardDistance(tokens, pivots_[attr].pivots[a]));
-    }
-    const double coord = pivot_dists_[attr][0][vid];
-    auto& coords = sorted_coords_[attr];
-    coords.insert(std::upper_bound(coords.begin(), coords.end(),
-                                   std::make_pair(coord, vid)),
-                  std::make_pair(coord, vid));
-  }
-  return vid;
-}
-
-ValueId Repository::sample_value_id(size_t i, int attr) const {
-  TERIDS_CHECK(i < sample_vids_.size());
-  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
-  return sample_vids_[i][attr];
+  return storage_->RegisterValue(attr, tokens, text);
 }
 
 const AttributeDomain& Repository::domain(int attr) const {
-  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
-  return domains_[attr];
-}
-
-AttributeDomain& Repository::mutable_domain(int attr) {
-  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
-  return domains_[attr];
+  const auto* in_memory = dynamic_cast<const InMemoryStorage*>(storage_.get());
+  TERIDS_CHECK(in_memory != nullptr &&
+               "Repository::domain is in-memory-backend-only; use the "
+               "backend-neutral value accessors");
+  return in_memory->domain(attr);
 }
 
 void Repository::AttachPivots(std::vector<AttributePivots> pivots) {
+  TERIDS_CHECK(storage_->SupportsAttachPivots());
   TERIDS_CHECK(static_cast<int>(pivots.size()) == num_attributes());
   for (const AttributePivots& p : pivots) {
     TERIDS_CHECK(p.count() >= 1);
   }
-  pivots_ = std::move(pivots);
-
-  const int d = num_attributes();
-  pivot_dists_.assign(d, {});
-  sorted_coords_.assign(d, {});
-  for (int x = 0; x < d; ++x) {
-    const AttributeDomain& dom = domains_[x];
-    const int np = pivots_[x].count();
-    pivot_dists_[x].assign(np, std::vector<double>(dom.size(), 0.0));
-    for (int a = 0; a < np; ++a) {
-      for (ValueId v = 0; v < dom.size(); ++v) {
-        pivot_dists_[x][a][v] =
-            JaccardDistance(dom.tokens(v), pivots_[x].pivots[a]);
-      }
-    }
-    sorted_coords_[x].reserve(dom.size());
-    for (ValueId v = 0; v < dom.size(); ++v) {
-      sorted_coords_[x].emplace_back(pivot_dists_[x][0][v], v);
-    }
-    std::sort(sorted_coords_[x].begin(), sorted_coords_[x].end());
-  }
-}
-
-int Repository::num_pivots(int attr) const {
-  TERIDS_CHECK(has_pivots());
-  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
-  return pivots_[attr].count();
-}
-
-const TokenSet& Repository::pivot_tokens(int attr, int pivot_idx) const {
-  TERIDS_CHECK(has_pivots());
-  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
-  TERIDS_CHECK(pivot_idx >= 0 && pivot_idx < pivots_[attr].count());
-  return pivots_[attr].pivots[pivot_idx];
-}
-
-double Repository::pivot_distance(int attr, int pivot_idx, ValueId vid) const {
-  TERIDS_CHECK(has_pivots());
-  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
-  TERIDS_CHECK(pivot_idx >= 0 && pivot_idx < pivots_[attr].count());
-  TERIDS_CHECK(vid < pivot_dists_[attr][pivot_idx].size());
-  return pivot_dists_[attr][pivot_idx][vid];
-}
-
-std::vector<ValueId> Repository::ValuesInCoordRange(
-    int attr, const Interval& coord_interval) const {
-  TERIDS_CHECK(has_pivots());
-  TERIDS_CHECK(attr >= 0 && attr < num_attributes());
-  std::vector<ValueId> out;
-  if (coord_interval.empty()) {
-    return out;
-  }
-  const auto& coords = sorted_coords_[attr];
-  auto lo = std::lower_bound(
-      coords.begin(), coords.end(),
-      std::make_pair(coord_interval.lo, static_cast<ValueId>(0)));
-  for (auto it = lo; it != coords.end() && it->first <= coord_interval.hi;
-       ++it) {
-    out.push_back(it->second);
-  }
-  return out;
+  storage_->AttachPivots(std::move(pivots));
 }
 
 }  // namespace terids

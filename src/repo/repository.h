@@ -1,11 +1,11 @@
 #ifndef TERIDS_REPO_REPOSITORY_H_
 #define TERIDS_REPO_REPOSITORY_H_
 
-#include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "repo/repo_storage.h"
 #include "text/token_dict.h"
 #include "text/token_set.h"
 #include "tuple/record.h"
@@ -15,57 +15,36 @@
 
 namespace terids {
 
-/// Identifier of a distinct attribute value inside an AttributeDomain.
-using ValueId = uint32_t;
-inline constexpr ValueId kInvalidValueId = static_cast<ValueId>(-1);
+class AttributeDomain;
+class InMemoryStorage;
 
-/// The domain dom(A_x) of one attribute: all distinct values observed in the
-/// data repository R, deduplicated by token set. Imputation candidates are
-/// always ValueIds into a domain (Section 3).
-class AttributeDomain {
- public:
-  AttributeDomain() = default;
-
-  /// Adds (or finds) a value; returns its id. `text` is kept for display.
-  ValueId FindOrAdd(const TokenSet& tokens, const std::string& text);
-
-  /// Id of an existing value with this exact token set, or kInvalidValueId.
-  ValueId Find(const TokenSet& tokens) const;
-
-  size_t size() const { return values_.size(); }
-  const TokenSet& tokens(ValueId id) const;
-  const std::string& text(ValueId id) const;
-
-  /// Number of repository samples carrying this value (editing-rule mining
-  /// uses this to pick frequent constants).
-  int frequency(ValueId id) const;
-  void BumpFrequency(ValueId id) { ++frequencies_[id]; }
-
- private:
-  static uint64_t HashTokens(const TokenSet& tokens);
-
-  std::vector<TokenSet> values_;
-  std::vector<std::string> texts_;
-  std::vector<int> frequencies_;
-  std::unordered_multimap<uint64_t, ValueId> by_hash_;
-};
-
-/// Pivot attribute values selected for one attribute: pivots[0] is the main
-/// pivot (defines the metric-embedding coordinate), pivots[1..] are the
-/// auxiliary pivots used only for aggregate pruning intervals (Section 5.1).
-struct AttributePivots {
-  std::vector<TokenSet> pivots;
-  int count() const { return static_cast<int>(pivots.size()); }
-};
-
-/// The static complete data repository R (Section 2.2).
+/// The static complete data repository R (Section 2.2): a facade binding a
+/// schema and token dictionary to a pluggable physical storage backend
+/// (DESIGN.md §8).
 ///
-/// Holds complete sample tuples, per-attribute domains, and — once pivots
-/// are attached — precomputed pivot-distance tables that back the DR-index,
-/// the CDD-index constraint geometry, and imputation candidate retrieval.
+/// All engine layers — the indexes, imputers, rule miner, pivot selector,
+/// and pipelines — read R exclusively through this class's backend-neutral
+/// accessors, so the same engine runs unchanged over the in-memory vectors
+/// (the default) or a read-only mmap snapshot whose numeric geometry
+/// tables are served zero-copy from the page cache instead of rebuilt on
+/// the heap (v1 still materializes token sets, texts, and sample records
+/// at open — see DESIGN.md §8). Backends are required to be bit-identical
+/// on the read path; the equivalence sweep enforces it end to end.
 class Repository {
  public:
+  /// In-memory backend (the default).
   Repository(const Schema* schema, const TokenDict* dict);
+
+  /// Explicit backend. `storage` must already agree with the schema's
+  /// attribute count (backend factories validate this).
+  Repository(const Schema* schema, const TokenDict* dict,
+             std::unique_ptr<RepoStorage> storage);
+
+  /// Opens a Repository over the snapshot file at `path` with the
+  /// MmapSnapshotStorage backend. Fails with a precise Status if the file
+  /// is missing, corrupt, or disagrees with `schema`/`dict`.
+  static Result<std::unique_ptr<Repository>> OpenSnapshot(
+      const Schema* schema, const TokenDict* dict, const std::string& path);
 
   Repository(const Repository&) = delete;
   Repository& operator=(const Repository&) = delete;
@@ -87,28 +66,54 @@ class Repository {
   const Schema& schema() const { return *schema_; }
   const TokenDict& dict() const { return *dict_; }
   int num_attributes() const { return schema_->num_attributes(); }
-  size_t num_samples() const { return samples_.size(); }
+  size_t num_samples() const { return storage_->num_samples(); }
 
-  const Record& sample(size_t i) const { return samples_[i]; }
+  const Record& sample(size_t i) const { return storage_->sample(i); }
   /// ValueId of sample i's attribute x within dom(A_x).
-  ValueId sample_value_id(size_t i, int attr) const;
+  ValueId sample_value_id(size_t i, int attr) const {
+    return storage_->sample_value_id(i, attr);
+  }
 
+  // ---- Domain reads (backend-neutral) ---------------------------------
+
+  size_t domain_size(int attr) const { return storage_->domain_size(attr); }
+  const TokenSet& value_tokens(int attr, ValueId id) const {
+    return storage_->value_tokens(attr, id);
+  }
+  const std::string& value_text(int attr, ValueId id) const {
+    return storage_->value_text(attr, id);
+  }
+  int value_frequency(int attr, ValueId id) const {
+    return storage_->value_frequency(attr, id);
+  }
+  /// Id of an existing value with this exact token set, or kInvalidValueId.
+  ValueId FindValue(int attr, const TokenSet& tokens) const {
+    return storage_->FindValue(attr, tokens);
+  }
+
+  /// Direct AttributeDomain access for tests and diagnostics. Only the
+  /// in-memory backend materializes AttributeDomain objects; this CHECKs
+  /// on any other backend — engine code must use the accessors above.
   const AttributeDomain& domain(int attr) const;
-  AttributeDomain& mutable_domain(int attr);
 
   // ---- Pivot machinery -----------------------------------------------
 
   /// Installs pivots and precomputes, for every attribute x, pivot a, and
   /// domain value v: dist(v, piv_a[A_x]). Also builds the sorted
   /// (main-pivot-coordinate, ValueId) lists used for candidate retrieval.
+  /// Snapshot backends carry their geometry in the file and CHECK here.
   void AttachPivots(std::vector<AttributePivots> pivots);
 
-  bool has_pivots() const { return !pivots_.empty(); }
-  int num_pivots(int attr) const;
-  const TokenSet& pivot_tokens(int attr, int pivot_idx) const;
+  bool has_pivots() const { return storage_->has_pivots(); }
+  int num_pivots(int attr) const { return storage_->num_pivots(attr); }
+  const TokenSet& pivot_tokens(int attr, int pivot_idx) const {
+    return storage_->pivot_tokens(attr, pivot_idx);
+  }
 
   /// dist(domain value `vid` of `attr`, pivot `pivot_idx` of `attr`).
-  double pivot_distance(int attr, int pivot_idx, ValueId vid) const;
+  double pivot_distance(int attr, int pivot_idx, ValueId vid) const {
+    return storage_->pivot_distance(attr, pivot_idx, vid);
+  }
 
   /// Main-pivot coordinate of a domain value (pivot_distance with pivot 0).
   double coord(int attr, ValueId vid) const {
@@ -116,24 +121,23 @@ class Repository {
   }
 
   /// All domain values of `attr` whose main-pivot coordinate lies in
-  /// [coord_interval.lo, coord_interval.hi]. This is the necessary-condition
+  /// [coord_interval.lo, coord_interval.hi] (both endpoints inclusive), in
+  /// ascending (coordinate, ValueId) order. This is the necessary-condition
   /// filter |coord(v) - coord(u)| <= eps used before exact verification.
-  std::vector<ValueId> ValuesInCoordRange(int attr,
-                                          const Interval& coord_interval) const;
+  std::vector<ValueId> ValuesInCoordRange(
+      int attr, const Interval& coord_interval) const {
+    std::vector<ValueId> out;
+    storage_->AppendValuesInCoordRange(attr, coord_interval, &out);
+    return out;
+  }
+
+  /// The active backend ("memory", "mmap").
+  const char* backend_name() const { return storage_->name(); }
 
  private:
   const Schema* schema_;
   const TokenDict* dict_;
-  std::vector<Record> samples_;
-  // sample_vids_[i][x] = ValueId of sample i's attribute x.
-  std::vector<std::vector<ValueId>> sample_vids_;
-  std::vector<AttributeDomain> domains_;
-
-  std::vector<AttributePivots> pivots_;
-  // pivot_dists_[x][a][vid] = dist(dom value vid, pivot a of attr x).
-  std::vector<std::vector<std::vector<double>>> pivot_dists_;
-  // sorted_coords_[x] = (main-pivot coord, vid) pairs sorted by coord.
-  std::vector<std::vector<std::pair<double, ValueId>>> sorted_coords_;
+  std::unique_ptr<RepoStorage> storage_;
 };
 
 }  // namespace terids

@@ -1,0 +1,140 @@
+#ifndef TERIDS_REPO_SNAPSHOT_FORMAT_H_
+#define TERIDS_REPO_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/hash.h"
+
+namespace terids {
+namespace snapshot {
+
+/// On-disk layout of a repository snapshot (DESIGN.md §8).
+///
+/// A snapshot is a build-once columnar serialization of a Repository's
+/// storage: per-attribute value domains (interned token sets, display
+/// texts, frequencies), the pivot set, the pivot-distance tables, the
+/// sorted main-pivot coordinate lists, and the complete sample tuples.
+/// MmapSnapshotStorage opens it read-only via mmap and serves the numeric
+/// geometry tables (distances, coordinates, ValueIds, frequencies)
+/// zero-copy from the mapping.
+///
+/// Layout: a fixed header, then one payload blob. Every array in the
+/// payload is preceded by padding to 8-byte alignment so doubles and
+/// 64-bit offsets can be read in place. Integers are host-endian: the
+/// snapshot is a local cache artifact regenerated from the source data,
+/// not an interchange format. The header carries a version (bumped on any
+/// layout change) and an FNV-1a checksum over the payload; both are
+/// verified before a byte of the payload is trusted.
+inline constexpr char kMagic[8] = {'T', 'E', 'R', 'I', 'D', 'S', 'N', 'P'};
+inline constexpr uint32_t kVersion = 1;
+
+struct Header {
+  char magic[8];
+  uint32_t version;
+  uint32_t num_attributes;
+  uint64_t num_samples;
+  uint64_t dict_tokens;  // TokenDict size at write; every token id is < this.
+  uint64_t payload_bytes;
+  uint64_t payload_checksum;  // FNV-1a over the payload bytes.
+  uint8_t has_pivots;
+  uint8_t reserved[7];
+};
+static_assert(sizeof(Header) == 56, "snapshot header layout drifted");
+
+inline uint64_t Checksum(const char* data, size_t n) {
+  uint64_t h = kFnv1aOffsetBasis;
+  for (size_t i = 0; i < n; ++i) {
+    h = Fnv1aMix(h, static_cast<uint8_t>(data[i]));
+  }
+  return h;
+}
+
+/// Bounds-checked forward reader over the payload. All getters return
+/// false / nullptr once any read has run past the end, so callers can
+/// finish parsing and report one "truncated snapshot" error. Alignment is
+/// tracked as an offset from the payload start; the payload itself must be
+/// 8-aligned in memory (the header is 56 bytes, a multiple of 8, and both
+/// the mmap base and the heap fallback buffer are at least 8-aligned).
+class Cursor {
+ public:
+  Cursor(const char* data, size_t n) : base_(data), n_(n) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return n_ - off_; }
+
+  bool ReadU64(uint64_t* v) {
+    Align8();
+    const size_t at = off_;
+    if (!Take(sizeof(*v))) return false;
+    std::memcpy(v, base_ + at, sizeof(*v));
+    return true;
+  }
+
+  /// Aligned array view into the payload; nullptr on overflow. A zero-length
+  /// array yields a valid one-past pointer so callers need no special case.
+  template <typename T>
+  const T* Array(size_t count) {
+    Align8();
+    const size_t at = off_;
+    if (count > remaining() / sizeof(T) || !Take(count * sizeof(T))) {
+      ok_ = false;
+      return nullptr;
+    }
+    return reinterpret_cast<const T*>(base_ + at);
+  }
+
+ private:
+  void Align8() {
+    const size_t mis = off_ % 8;
+    if (mis != 0) Take(8 - mis);
+  }
+
+  bool Take(size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    off_ += n;
+    return true;
+  }
+
+  const char* base_;
+  size_t off_ = 0;
+  size_t n_;
+  bool ok_ = true;
+};
+
+/// Payload serializer mirroring Cursor: byte-buffer appends with the same
+/// align-to-8 rule before every array.
+class Builder {
+ public:
+  void AppendU64(uint64_t v) {
+    Align8();
+    AppendBytes(&v, sizeof(v));
+  }
+
+  template <typename T>
+  void AppendArray(const T* data, size_t count) {
+    Align8();
+    AppendBytes(data, count * sizeof(T));
+  }
+
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  void Align8() { buf_.resize((buf_.size() + 7) / 8 * 8, '\0'); }
+
+  void AppendBytes(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  std::string buf_;
+};
+
+}  // namespace snapshot
+}  // namespace terids
+
+#endif  // TERIDS_REPO_SNAPSHOT_FORMAT_H_

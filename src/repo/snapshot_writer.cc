@@ -1,0 +1,201 @@
+#include "repo/snapshot_writer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "repo/repository.h"
+#include "repo/snapshot_format.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace terids {
+
+namespace {
+
+void AppendDomain(const Repository& repo, int attr, snapshot::Builder* out) {
+  const size_t dom = repo.domain_size(attr);
+  out->AppendU64(dom);
+
+  // Concatenated token ids + prefix offsets.
+  std::vector<Token> token_ids;
+  std::vector<uint64_t> token_offsets;
+  token_offsets.reserve(dom + 1);
+  token_offsets.push_back(0);
+  for (ValueId v = 0; v < dom; ++v) {
+    const std::vector<Token>& ts = repo.value_tokens(attr, v).tokens();
+    token_ids.insert(token_ids.end(), ts.begin(), ts.end());
+    token_offsets.push_back(token_ids.size());
+  }
+  out->AppendU64(token_ids.size());
+  out->AppendArray(token_ids.data(), token_ids.size());
+  out->AppendArray(token_offsets.data(), token_offsets.size());
+
+  // Display-text blob + prefix offsets.
+  std::string text_blob;
+  std::vector<uint64_t> text_offsets;
+  text_offsets.reserve(dom + 1);
+  text_offsets.push_back(0);
+  for (ValueId v = 0; v < dom; ++v) {
+    text_blob += repo.value_text(attr, v);
+    text_offsets.push_back(text_blob.size());
+  }
+  out->AppendU64(text_blob.size());
+  out->AppendArray(text_blob.data(), text_blob.size());
+  out->AppendArray(text_offsets.data(), text_offsets.size());
+
+  std::vector<int32_t> freqs(dom);
+  for (ValueId v = 0; v < dom; ++v) {
+    freqs[v] = repo.value_frequency(attr, v);
+  }
+  out->AppendArray(freqs.data(), freqs.size());
+}
+
+void AppendPivots(const Repository& repo, snapshot::Builder* out) {
+  const int d = repo.num_attributes();
+  for (int x = 0; x < d; ++x) {
+    const int np = repo.num_pivots(x);
+    out->AppendU64(static_cast<uint64_t>(np));
+    for (int a = 0; a < np; ++a) {
+      const std::vector<Token>& ts = repo.pivot_tokens(x, a).tokens();
+      out->AppendU64(ts.size());
+      out->AppendArray(ts.data(), ts.size());
+    }
+  }
+  // Distance tables, one contiguous column per (attribute, pivot).
+  for (int x = 0; x < d; ++x) {
+    const size_t dom = repo.domain_size(x);
+    std::vector<double> dists(dom);
+    for (int a = 0; a < repo.num_pivots(x); ++a) {
+      for (ValueId v = 0; v < dom; ++v) {
+        dists[v] = repo.pivot_distance(x, a, v);
+      }
+      out->AppendArray(dists.data(), dists.size());
+    }
+  }
+  // Sorted main-pivot coordinate lists, as parallel (key, vid) columns.
+  for (int x = 0; x < d; ++x) {
+    const size_t dom = repo.domain_size(x);
+    std::vector<std::pair<double, ValueId>> coords;
+    coords.reserve(dom);
+    for (ValueId v = 0; v < dom; ++v) {
+      coords.emplace_back(repo.coord(x, v), v);
+    }
+    std::sort(coords.begin(), coords.end());
+    std::vector<double> keys(dom);
+    std::vector<uint32_t> vids(dom);
+    for (size_t i = 0; i < dom; ++i) {
+      keys[i] = coords[i].first;
+      vids[i] = coords[i].second;
+    }
+    out->AppendArray(keys.data(), keys.size());
+    out->AppendArray(vids.data(), vids.size());
+  }
+}
+
+void AppendSamples(const Repository& repo, snapshot::Builder* out) {
+  const int d = repo.num_attributes();
+  const size_t n = repo.num_samples();
+  std::vector<int64_t> rids(n);
+  std::vector<int32_t> streams(n);
+  std::vector<int64_t> timestamps(n);
+  std::vector<uint32_t> vids(n * static_cast<size_t>(d));
+  std::string text_blob;
+  std::vector<uint64_t> text_offsets;
+  text_offsets.reserve(n * static_cast<size_t>(d) + 1);
+  text_offsets.push_back(0);
+  for (size_t i = 0; i < n; ++i) {
+    const Record& r = repo.sample(i);
+    rids[i] = r.rid;
+    streams[i] = r.stream_id;
+    timestamps[i] = r.timestamp;
+    for (int x = 0; x < d; ++x) {
+      vids[i * static_cast<size_t>(d) + x] = repo.sample_value_id(i, x);
+      // Sample texts are stored verbatim: a later sample may carry a
+      // different spelling than the domain's first-seen display text, and
+      // reconstruction must not canonicalize it. Token sets are not stored
+      // per sample — they are definitionally identical to the domain
+      // value's (FindOrAdd deduplicates by token-set equality).
+      text_blob += r.values[x].text;
+      text_offsets.push_back(text_blob.size());
+    }
+  }
+  out->AppendArray(rids.data(), rids.size());
+  out->AppendArray(streams.data(), streams.size());
+  out->AppendArray(timestamps.data(), timestamps.size());
+  out->AppendArray(vids.data(), vids.size());
+  out->AppendU64(text_blob.size());
+  out->AppendArray(text_blob.data(), text_blob.size());
+  out->AppendArray(text_offsets.data(), text_offsets.size());
+}
+
+}  // namespace
+
+std::string UniqueSnapshotPath(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  static const uint64_t tag = std::random_device{}();
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string dir =
+      (tmpdir != nullptr && tmpdir[0] != '\0') ? tmpdir : "/tmp";
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return dir + "/" + prefix + "-" + std::to_string(pid) + "-" +
+         std::to_string(tag) + "-" + std::to_string(counter.fetch_add(1)) +
+         ".snap";
+}
+
+Status WriteRepositorySnapshot(const Repository& repo,
+                               const std::string& path) {
+  if (!repo.has_pivots()) {
+    // Nothing in the snapshot's geometry sections would be meaningful, and
+    // the read-only backend cannot run AttachPivots later.
+    return Status::FailedPrecondition(
+        "snapshot requires a repository with pivots attached");
+  }
+
+  snapshot::Builder payload;
+  const int d = repo.num_attributes();
+  for (int x = 0; x < d; ++x) {
+    AppendDomain(repo, x, &payload);
+  }
+  AppendPivots(repo, &payload);
+  AppendSamples(repo, &payload);
+
+  snapshot::Header header;
+  std::memset(&header, 0, sizeof(header));
+  std::memcpy(header.magic, snapshot::kMagic, sizeof(header.magic));
+  header.version = snapshot::kVersion;
+  header.num_attributes = static_cast<uint32_t>(d);
+  header.num_samples = repo.num_samples();
+  header.dict_tokens = repo.dict().size();
+  header.payload_bytes = payload.bytes().size();
+  header.payload_checksum =
+      snapshot::Checksum(payload.bytes().data(), payload.bytes().size());
+  header.has_pivots = 1;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open snapshot file for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(payload.bytes().data(),
+            static_cast<std::streamsize>(payload.bytes().size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to snapshot file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace terids

@@ -1,0 +1,34 @@
+#ifndef TERIDS_REPO_SNAPSHOT_WRITER_H_
+#define TERIDS_REPO_SNAPSHOT_WRITER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace terids {
+
+class Repository;
+
+/// Serializes `repo`'s storage into the columnar snapshot format of
+/// DESIGN.md §8 (versioned header + FNV-1a payload checksum) at `path`,
+/// ready to be opened by MmapSnapshotStorage.
+///
+/// The writer reads exclusively through the backend-neutral Repository
+/// interface, so it works on any backend — including an mmap-backed
+/// repository that has accumulated dynamic-overlay values, which makes
+/// re-snapshotting a compaction. The sorted coordinate lists are rebuilt
+/// from (coord, ValueId) pairs; since those pairs are distinct and the
+/// in-memory backend maintains exactly the (coord, ValueId)-ascending
+/// order, the rebuilt lists are bit-identical to the oracle's.
+Status WriteRepositorySnapshot(const Repository& repo,
+                               const std::string& path);
+
+/// Collision-resistant path for a throwaway snapshot file under TMPDIR
+/// (or /tmp): `<dir>/<prefix>-<pid>-<random tag>-<counter>.snap`. The
+/// random per-process tag keeps paths distinct even where getpid is
+/// unavailable and the counter keeps repeated calls distinct.
+std::string UniqueSnapshotPath(const std::string& prefix);
+
+}  // namespace terids
+
+#endif  // TERIDS_REPO_SNAPSHOT_WRITER_H_

@@ -46,7 +46,7 @@ bool CddRule::DeterminantsSatisfied(const Record& r, const Repository& repo,
         return false;
       }
       // r must equal the constant too (r1[Ax] = r2[Ax] = v in Definition 3).
-      if (!(rv.tokens == repo.domain(attr).tokens(constraint.constant_vid))) {
+      if (!(rv.tokens == repo.value_tokens(attr, constraint.constant_vid))) {
         return false;
       }
     } else {

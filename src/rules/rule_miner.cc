@@ -132,11 +132,12 @@ std::vector<CddRule> RuleMiner::MineWithMode(bool dd_mode) const {
       // Editing-rule fallback with constants: determinants whose best
       // interval was too loose (no emissions) impute via specific values.
       if (!dd_mode && options_.mine_constants && emitted == 0) {
-        const AttributeDomain& dom = repo_->domain(x);
         std::vector<std::pair<int, ValueId>> frequent;
-        for (ValueId v = 0; v < dom.size(); ++v) {
-          if (dom.frequency(v) >= options_.min_const_freq) {
-            frequent.emplace_back(dom.frequency(v), v);
+        const size_t dom_size = repo_->domain_size(x);
+        for (ValueId v = 0; v < dom_size; ++v) {
+          const int freq = repo_->value_frequency(x, v);
+          if (freq >= options_.min_const_freq) {
+            frequent.emplace_back(freq, v);
           }
         }
         std::sort(frequent.rbegin(), frequent.rend());
@@ -239,11 +240,12 @@ std::vector<CddRule> RuleMiner::MineEditingRules() const {
   for (int j = 0; j < d; ++j) {
     for (int x = 0; x < d; ++x) {
       if (x == j) continue;
-      const AttributeDomain& dom = repo_->domain(x);
       std::vector<std::pair<int, ValueId>> frequent;
-      for (ValueId v = 0; v < dom.size(); ++v) {
-        if (dom.frequency(v) >= options_.min_const_freq) {
-          frequent.emplace_back(dom.frequency(v), v);
+      const size_t dom_size = repo_->domain_size(x);
+      for (ValueId v = 0; v < dom_size; ++v) {
+        const int freq = repo_->value_frequency(x, v);
+        if (freq >= options_.min_const_freq) {
+          frequent.emplace_back(freq, v);
         }
       }
       std::sort(frequent.rbegin(), frequent.rend());

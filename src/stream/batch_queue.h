@@ -32,17 +32,20 @@ class BatchQueue {
   BatchQueue(const BatchQueue&) = delete;
   BatchQueue& operator=(const BatchQueue&) = delete;
 
-  /// Enqueues `item`, blocking while the queue is full. Producer-side only;
-  /// must not be called after Close(). Returns false — dropping the item —
-  /// once the consumer has Cancelled, which tells the producer to stop.
+  /// Enqueues `item`, blocking while the queue is full. Producer-side only.
+  /// Returns false — dropping the item — once the consumer has Cancelled
+  /// (which tells the producer to stop) or the queue has been Closed: after
+  /// end-of-stream was signalled no further item can precede it, so a late
+  /// Push is rejected like the Cancel path instead of tripping an invariant
+  /// check only after winning the not-full wait.
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || cancelled_; });
-    if (cancelled_) {
+    not_full_.wait(lock, [this] {
+      return items_.size() < capacity_ || cancelled_ || closed_;
+    });
+    if (cancelled_ || closed_) {
       return false;
     }
-    TERIDS_CHECK(!closed_);
     items_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
@@ -65,11 +68,12 @@ class BatchQueue {
   }
 
   /// Producer signals end-of-stream: already queued items remain poppable,
-  /// then Pop returns false.
+  /// then Pop returns false, and any later Push returns false.
   void Close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
+    not_full_.notify_all();
   }
 
   /// Consumer aborts the handoff: a blocked (or any later) Push returns

@@ -99,7 +99,7 @@ const TokenSet& ImputedTuple::instance_tokens(int inst, int attr) const {
     return v.missing ? EmptyTokenSet() : v.tokens;
   }
   const ValueId vid = instances_[inst].choices[k];
-  return repo_->domain(attr).tokens(vid);
+  return repo_->value_tokens(attr, vid);
 }
 
 double ImputedTuple::instance_pivot_dist(int inst, int attr,
@@ -161,7 +161,7 @@ void ImputedTuple::ComputeAggregates() {
     for (const Instance& inst : instances_) {
       const ValueId vid = inst.choices[k];
       size_intervals_[x].Cover(
-          static_cast<double>(repo_->domain(x).tokens(vid).size()));
+          static_cast<double>(repo_->value_tokens(x, vid).size()));
       const double weight = inst.prob / norm;
       for (int a = 0; a < np; ++a) {
         const double dist = repo_->pivot_distance(x, a, vid);

@@ -8,6 +8,15 @@ namespace terids {
 
 /// Closed real interval [lo, hi]. Used for CDD distance constraints, aR-tree
 /// bounding ranges, token-set size intervals, and pivot-distance bounds.
+///
+/// Empty-interval semantics (lo > hi, the default state) are part of the
+/// contract — CDD pruning consumes intervals that may never have been grown:
+///   - Contains(v)      is false for every v (vacuously: no point is in it).
+///   - Overlaps(other)  is false whenever either side is empty.
+///   - width()          is 0.
+///   - MinAbsDiff       is +infinity whenever either side is empty: there is
+///     no (x, y) pair to take a difference over, and +inf is the identity
+///     that makes an empty side maximally prunable in Lemma 4.2 sums.
 struct Interval {
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
@@ -40,8 +49,15 @@ struct Interval {
   }
 
   /// Minimum |x - y| over x in this, y in other; 0 if they overlap.
-  /// This is exactly the min_dist of Lemma 4.2.
+  /// This is exactly the min_dist of Lemma 4.2. If either interval is
+  /// empty the minimum ranges over no pairs at all and the result is
+  /// +infinity — explicitly, rather than via comparisons on the empty
+  /// sentinel bounds, which fell through to the overlap branch (returning
+  /// 0, "touching") when the other side was unbounded on both ends.
   double MinAbsDiff(const Interval& other) const {
+    if (empty() || other.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
     if (lo > other.hi) return lo - other.hi;
     if (other.lo > hi) return other.lo - hi;
     return 0.0;

@@ -109,5 +109,39 @@ TEST(BatchQueueTest, MoveOnlyPayload) {
   EXPECT_FALSE(queue.Pop(&out));
 }
 
+TEST(BatchQueueTest, PushAfterCloseReturnsFalseAndKeepsBufferPoppable) {
+  BatchQueue<int> queue(2);
+  EXPECT_TRUE(queue.Push(1));
+  queue.Close();
+  // Regression: this used to trip TERIDS_CHECK(!closed_) after winning the
+  // not-full wait; the contract is now the same as the Cancel path — the
+  // item is dropped and the producer is told to stop.
+  EXPECT_FALSE(queue.Push(2));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));  // end-of-stream still drains the buffer
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(queue.Pop(&out));
+  EXPECT_FALSE(queue.Push(3));  // and stays rejected after the drain
+}
+
+TEST(BatchQueueTest, CloseUnblocksAFullQueuePush) {
+  BatchQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] {
+    // Blocks on the full queue until Close, then must report rejection
+    // rather than enqueue behind end-of-stream.
+    rejected = !queue.Push(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
 }  // namespace
 }  // namespace terids

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "bench_common.h"
 
@@ -108,6 +109,83 @@ TEST_F(JsonReporterTest, RawSplicesPreRenderedJson) {
   EXPECT_EQ(ReadFile(path_),
             "{\"figure\":\"Figure Z\",\"bench_scale\":1,\"rows\":["
             "{\"dataset\":\"Bikes\",\"cost\":{\"er\":1.5}}]}\n");
+}
+
+// ---------------------------------------------------------------------------
+// EnvInt: the shared TERIDS_BENCH_* knob parser must reject malformed and
+// out-of-range values loudly (stderr) instead of silently reconfiguring a
+// benchmark run.
+// ---------------------------------------------------------------------------
+
+class EnvIntTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kKnob = "TERIDS_BENCH_TESTKNOB";
+  void TearDown() override {
+    unsetenv(kKnob);
+    unsetenv("TERIDS_BENCH_REPO_BACKEND");
+  }
+
+  /// Runs EnvInt and returns {value, stderr output}.
+  std::pair<int, std::string> Parse(const char* env, int fallback,
+                                    int min_value) {
+    setenv(kKnob, env, 1);
+    ::testing::internal::CaptureStderr();
+    const int v = EnvInt(kKnob, fallback, min_value);
+    return {v, ::testing::internal::GetCapturedStderr()};
+  }
+};
+
+TEST_F(EnvIntTest, UnsetAndEmptyFallBackSilently) {
+  unsetenv(kKnob);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvInt(kKnob, 7, 1), 7);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  const auto [v, err] = Parse("", 7, 1);
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(err, "");
+}
+
+TEST_F(EnvIntTest, ParsesValidValues) {
+  EXPECT_EQ(Parse("8", 1, 1).first, 8);
+  EXPECT_EQ(Parse("-3", 0, -10).first, -3);
+  EXPECT_EQ(Parse("1", 4, 1).first, 1);  // exactly at the minimum
+}
+
+TEST_F(EnvIntTest, RejectsTrailingGarbageWithMessage) {
+  const auto [v, err] = Parse("8x", 3, 1);
+  EXPECT_EQ(v, 3);
+  EXPECT_NE(err.find(kKnob), std::string::npos);
+  EXPECT_NE(err.find("not an integer"), std::string::npos) << err;
+}
+
+TEST_F(EnvIntTest, RejectsNonNumericWithMessage) {
+  const auto [v, err] = Parse("fast", 2, 1);
+  EXPECT_EQ(v, 2);
+  EXPECT_NE(err.find("not an integer"), std::string::npos) << err;
+}
+
+TEST_F(EnvIntTest, RejectsOverflowWithMessage) {
+  const auto [v, err] = Parse("99999999999999999999", 5, 1);
+  EXPECT_EQ(v, 5);
+  EXPECT_NE(err.find("overflows"), std::string::npos) << err;
+}
+
+TEST_F(EnvIntTest, RejectsBelowMinimumWithMessage) {
+  const auto [v, err] = Parse("0", 4, 1);
+  EXPECT_EQ(v, 4);
+  EXPECT_NE(err.find("below the minimum"), std::string::npos) << err;
+}
+
+TEST_F(EnvIntTest, RepoBackendKnobParsesAndRejectsLoudly) {
+  setenv("TERIDS_BENCH_REPO_BACKEND", "mmap", 1);
+  EXPECT_EQ(EnvExecKnobs().repo_backend, RepoBackend::kMmapSnapshot);
+  setenv("TERIDS_BENCH_REPO_BACKEND", "memory", 1);
+  EXPECT_EQ(EnvExecKnobs().repo_backend, RepoBackend::kInMemory);
+  setenv("TERIDS_BENCH_REPO_BACKEND", "rocksdb", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvExecKnobs().repo_backend, RepoBackend::kInMemory);
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find("not a backend"),
+            std::string::npos);
 }
 
 }  // namespace

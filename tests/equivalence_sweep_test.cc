@@ -177,6 +177,81 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
   }
 }
 
+// --- Storage-backend equivalence -------------------------------------------
+
+// Across every datagen profile, an engine reading the repository through
+// MmapSnapshotStorage (snapshot write -> mmap reopen, DESIGN.md §8) must be
+// bit-identical to the InMemoryStorage oracle: same per-arrival matches in
+// the same order, same final MatchSet, same cumulative PruneStats. TER-iDS
+// exercises the full read path (domains, pivot tables, coordinate scans,
+// DR-index build over samples); con+ER additionally exercises the dynamic
+// overlay, because its imputer registers stream values into the domains
+// after the snapshot was opened.
+class RepoBackendEquivalenceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RepoBackendEquivalenceTest, MmapSnapshotEqualsInMemoryOracle) {
+  const std::string profile = GetParam();
+  ExperimentParams params;
+  params.scale = 0.04;
+  if (profile == "EBooks") params.scale = 0.012;
+  if (profile == "Songs") params.scale = 0.002;
+  params.w = 50;
+  params.max_arrivals = 220;
+  Experiment experiment(ProfileByName(profile), params);
+
+  for (PipelineKind kind :
+       {PipelineKind::kTerIds, PipelineKind::kConstraintEr}) {
+    auto replay = [&](RepoBackend backend) {
+      std::unique_ptr<Repository> repo = experiment.BuildRepository(backend);
+      EXPECT_STREQ(repo->backend_name(), RepoBackendName(backend));
+      EngineConfig config = experiment.MakeConfig();
+      config.repo_backend = backend;
+      std::unique_ptr<ErPipeline> pipeline =
+          MakePipeline(kind, repo.get(), config, 2, experiment.cdds(),
+                       experiment.dds(), experiment.editing_rules());
+      std::vector<Record> inc_a = DataGenerator::WithMissing(
+          experiment.dataset().source_a, params.xi, params.m, params.seed);
+      std::vector<Record> inc_b = DataGenerator::WithMissing(
+          experiment.dataset().source_b, params.xi, params.m,
+          params.seed + 1);
+      StreamDriver driver({inc_a, inc_b});
+      ReplayResult result;
+      pipeline->ProcessStream(&driver,
+                              static_cast<size_t>(params.max_arrivals),
+                              /*batch_size=*/1,
+                              [&result](ArrivalOutcome&& out) {
+                                for (const MatchPair& p : out.new_matches) {
+                                  result.emitted.emplace_back(p.rid_a,
+                                                              p.rid_b);
+                                }
+                              });
+      result.final_set = pipeline->results().ToVector();
+      result.stats = pipeline->cumulative_stats();
+      return result;
+    };
+
+    const ReplayResult memory = replay(RepoBackend::kInMemory);
+    const ReplayResult mmap = replay(RepoBackend::kMmapSnapshot);
+    EXPECT_EQ(mmap.emitted, memory.emitted)
+        << profile << " " << PipelineKindName(kind);
+    ASSERT_EQ(mmap.final_set.size(), memory.final_set.size());
+    for (size_t i = 0; i < mmap.final_set.size(); ++i) {
+      EXPECT_EQ(mmap.final_set[i].rid_a, memory.final_set[i].rid_a);
+      EXPECT_EQ(mmap.final_set[i].rid_b, memory.final_set[i].rid_b);
+      EXPECT_DOUBLE_EQ(mmap.final_set[i].probability,
+                       memory.final_set[i].probability);
+    }
+    ExpectSameStats(mmap.stats, memory.stats);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, RepoBackendEquivalenceTest,
+                         ::testing::Values("Citations", "Anime", "Bikes",
+                                           "EBooks", "Songs"),
+                         [](const ::testing::TestParamInfo<std::string>&
+                                info) { return info.param; });
+
 std::vector<BatchCombo> BatchCombos() {
   std::vector<BatchCombo> combos;
   for (const char* profile :

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "repo/repository.h"
 #include "test_util.h"
@@ -135,6 +137,79 @@ TEST(RepositoryTest, AddSampleAfterPivotsKeepsTablesConsistent) {
         world.repo->coord(x, vid),
         JaccardDistance(r.values[x].tokens, world.repo->pivot_tokens(x, 0)));
   }
+}
+
+TEST(AttributeDomainTest, BumpFrequencyOutOfRangeIsChecked) {
+  AttributeDomain dom;
+  // Regression: BumpFrequency was the only accessor without a bounds
+  // guard — an out-of-range ValueId was silent UB on frequencies_[id].
+  EXPECT_DEATH(dom.BumpFrequency(0), "frequencies_");
+  TokenSet one = TokenSet::FromTokens({1, 2});
+  const ValueId vid = dom.FindOrAdd(one, "one two");
+  dom.BumpFrequency(vid);
+  EXPECT_EQ(dom.frequency(vid), 1);
+  EXPECT_DEATH(dom.BumpFrequency(vid + 1), "frequencies_");
+}
+
+// --- Dynamic repository: RegisterValue after AttachPivots ----------------
+
+TEST(RepositoryTest, IncrementalInsertsKeepCoordListOrdered) {
+  ToyWorld world = MakeHealthWorld();
+  Tokenizer tok(world.dict.get());
+  const std::vector<std::string> texts = {
+      "hypertension", "severe migraine", "fever",
+      "loss of weight thirst fatigue", "eye drop rest sleep"};
+  for (const std::string& text : texts) {
+    world.repo->RegisterValue(2, tok.Tokenize(text), text);
+  }
+  // The full-range scan surfaces the maintained list; it must stay sorted
+  // by (coordinate, ValueId) after every incremental insert.
+  const std::vector<ValueId> all =
+      world.repo->ValuesInCoordRange(2, Interval::Of(0.0, 1.0));
+  ASSERT_EQ(all.size(), world.repo->domain_size(2));
+  for (size_t i = 1; i < all.size(); ++i) {
+    const auto prev = std::make_pair(world.repo->coord(2, all[i - 1]),
+                                     all[i - 1]);
+    const auto cur = std::make_pair(world.repo->coord(2, all[i]), all[i]);
+    EXPECT_LT(prev, cur) << "position " << i;
+  }
+}
+
+TEST(RepositoryTest, DuplicateRegisterValueAfterPivotsIsANoOp) {
+  ToyWorld world = MakeHealthWorld();
+  Tokenizer tok(world.dict.get());
+  const TokenSet tokens = tok.Tokenize("hypertension");
+  const ValueId vid = world.repo->RegisterValue(2, tokens, "hypertension");
+  const size_t size = world.repo->domain_size(2);
+  const std::vector<ValueId> scan =
+      world.repo->ValuesInCoordRange(2, Interval::Of(0.0, 1.0));
+  // Re-registering the same token set (even under a different display
+  // text) must not grow the domain, the pivot tables, or the coord list.
+  EXPECT_EQ(world.repo->RegisterValue(2, tokens, "other text"), vid);
+  EXPECT_EQ(world.repo->domain_size(2), size);
+  EXPECT_EQ(world.repo->ValuesInCoordRange(2, Interval::Of(0.0, 1.0)), scan);
+}
+
+TEST(RepositoryTest, CoordRangeEndpointsAreInclusiveHits) {
+  ToyWorld world = MakeHealthWorld();
+  Tokenizer tok(world.dict.get());
+  const TokenSet tokens = tok.Tokenize("hypertension");
+  const ValueId vid = world.repo->RegisterValue(2, tokens, "hypertension");
+  const double c = world.repo->coord(2, vid);
+
+  auto contains = [&](const Interval& band) {
+    const std::vector<ValueId> got = world.repo->ValuesInCoordRange(2, band);
+    return std::find(got.begin(), got.end(), vid) != got.end();
+  };
+  // The value's exact coordinate at either endpoint is a hit...
+  EXPECT_TRUE(contains(Interval::Of(c, c)));
+  EXPECT_TRUE(contains(Interval::Of(0.0, c)));   // hit exactly at hi
+  EXPECT_TRUE(contains(Interval::Of(c, 1.0)));   // hit exactly at lo
+  // ...and one ulp past either endpoint is a miss.
+  const double below = std::nextafter(c, -1.0);
+  const double above = std::nextafter(c, 2.0);
+  EXPECT_FALSE(contains(Interval::Of(0.0, below)));
+  EXPECT_FALSE(contains(Interval::Of(above, 1.0)));
 }
 
 }  // namespace

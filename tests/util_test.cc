@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include <cmath>
 #include <vector>
 
@@ -84,6 +86,42 @@ TEST(IntervalTest, MinAbsDiffDisjoint) {
                    0.4);
   EXPECT_DOUBLE_EQ(Interval::Of(0.1, 0.5).MinAbsDiff(Interval::Of(0.4, 0.9)),
                    0.0);
+}
+
+// Empty-interval semantics are contractual (see interval.h): CDD pruning
+// consumes intervals that may never have been grown, and every predicate
+// must degrade vacuously instead of leaking the sentinel bounds.
+TEST(IntervalTest, EmptyIntervalSemanticsArePinnedDown) {
+  const Interval empty = Interval::Empty();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EXPECT_FALSE(empty.Contains(0.0));
+  EXPECT_FALSE(empty.Contains(-inf));
+  EXPECT_FALSE(empty.Contains(inf));
+  EXPECT_DOUBLE_EQ(empty.width(), 0.0);
+
+  EXPECT_FALSE(empty.Overlaps(Interval::Of(0.0, 1.0)));
+  EXPECT_FALSE(Interval::Of(0.0, 1.0).Overlaps(empty));
+  EXPECT_FALSE(empty.Overlaps(empty));
+}
+
+TEST(IntervalTest, MinAbsDiffOfEmptyIsInfinity) {
+  const Interval empty = Interval::Empty();
+  const Interval unit = Interval::Of(0.25, 0.75);
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EXPECT_EQ(empty.MinAbsDiff(unit), inf);
+  EXPECT_EQ(unit.MinAbsDiff(empty), inf);
+  EXPECT_EQ(empty.MinAbsDiff(empty), inf);
+  // Regression: the old sentinel comparisons fell through to the overlap
+  // branch for empty vs an interval unbounded on both ends, reporting
+  // distance 0 ("touching") for a set with no points at all.
+  const Interval everything = Interval::Of(-inf, inf);
+  EXPECT_EQ(empty.MinAbsDiff(everything), inf);
+  EXPECT_EQ(everything.MinAbsDiff(empty), inf);
+  const Interval unbounded = Interval::Of(0.0, inf);
+  EXPECT_EQ(empty.MinAbsDiff(unbounded), inf);
+  EXPECT_EQ(unbounded.MinAbsDiff(empty), inf);
 }
 
 /// Property: MinAbsDiff is a true lower bound of |x - y| over the two
