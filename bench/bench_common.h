@@ -29,16 +29,21 @@ int EnvInt(const char* name, int fallback, int min_value);
 /// The execution-model knobs, parsed once from TERIDS_BENCH_BATCH /
 /// TERIDS_BENCH_THREADS / TERIDS_BENCH_SHARDS / TERIDS_BENCH_QUEUE
 /// (defaults 1/1/1/0 = the classic one-at-a-time synchronous operator)
-/// plus the repository storage backend from TERIDS_BENCH_REPO_BACKEND
-/// ("memory" | "mmap", default memory). Every bench that replays arrivals
-/// through Experiment::Run inherits them via BaseParams, so any figure can
-/// be reproduced under micro-batching, parallel refinement, grid sharding,
-/// async ingest, and either storage backend without code changes.
+/// plus TERIDS_BENCH_SIGFILTER (0|1, default 1 = signature-bounded Jaccard
+/// kernel on), TERIDS_BENCH_MAINTAIN (maintain_shards, default 1 = serial
+/// grid maintenance) and the repository storage backend from
+/// TERIDS_BENCH_REPO_BACKEND ("memory" | "mmap", default memory). Every
+/// bench that replays arrivals through Experiment::Run inherits them via
+/// BaseParams, so any figure can be reproduced under micro-batching,
+/// parallel refinement, grid sharding, async ingest, the signature filter,
+/// parallel maintain, and either storage backend without code changes.
 struct ExecKnobs {
   int batch_size = 1;
   int refine_threads = 1;
   int grid_shards = 1;
   int ingest_queue_depth = 0;
+  bool signature_filter = true;
+  int maintain_shards = 1;
   RepoBackend repo_backend = RepoBackend::kInMemory;
 };
 ExecKnobs EnvExecKnobs();

@@ -1,0 +1,264 @@
+// Similarity-kernel microbenchmarks + the refine-phase end-to-end effect of
+// the flat token arena and the signature-bounded Jaccard kernel (ISSUE 5,
+// DESIGN.md §9). Not a paper figure — this tracks the refinement hot path
+// the TokenSet header has always called "the hot path of the whole system".
+//
+// Section 1 (intersection): linear merge vs galloping vs the signature
+// reject on synthetic sorted token sets at several size-skew shapes, with a
+// correctness oracle (all algorithms must agree; the signature bound must
+// dominate the exact count).
+// Section 2 (layout): per-attribute Jaccard sums over real imputed tuples
+// read through heap TokenSets (instance_tokens) vs flat arena views
+// (instance_token_view) — the locality payoff in isolation.
+// Section 3 (end-to-end): full TER-iDS runs per profile with the signature
+// filter off vs on; identical matches / MatchSet / PruneStats are asserted
+// (the filter may only skip merges), and the refine-phase seconds are the
+// reported effect.
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/profiles.h"
+#include "er/similarity.h"
+#include "text/similarity_kernels.h"
+#include "text/token_set.h"
+#include "tuple/imputed_tuple.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace terids;
+using namespace terids::bench;
+
+std::vector<Token> RandomSortedTokens(std::mt19937_64* rng, size_t len,
+                                      Token universe) {
+  std::uniform_int_distribution<Token> dist(0, universe);
+  std::vector<Token> tokens;
+  tokens.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    tokens.push_back(dist(*rng));
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+struct SetPair {
+  std::vector<Token> a;
+  std::vector<Token> b;
+  uint64_t sig_a = 0;
+  uint64_t sig_b = 0;
+};
+
+}  // namespace
+
+int main() {
+  JsonReporter reporter("similarity_kernels");
+  const ExecKnobs env_knobs = EnvExecKnobs();
+
+  // --- Section 1: intersection algorithm throughput -----------------------
+  std::printf("==== similarity_kernels: merge vs gallop vs signature ====\n");
+  std::printf("\n-- intersection: 20k random pairs per shape, 5 rounds --\n");
+  std::printf("%12s %12s %12s %12s %14s %12s\n", "|small|x|large|", "merge M/s",
+              "gallop M/s", "auto M/s", "sig-reject M/s", "sig-skip %");
+  std::mt19937_64 rng(20210620);
+  const std::vector<std::pair<size_t, size_t>> shapes = {
+      {8, 8}, {8, 64}, {8, 512}, {64, 64}, {64, 1024}, {4, 4096}};
+  const int pairs_per_shape = 2000;
+  const int rounds = 5;
+  for (const auto& [small, large] : shapes) {
+    std::vector<SetPair> pairs(pairs_per_shape);
+    for (SetPair& p : pairs) {
+      // Universe sized for partial overlap so neither algorithm gets a
+      // degenerate all-common or all-disjoint workload.
+      const Token universe = static_cast<Token>(4 * large);
+      p.a = RandomSortedTokens(&rng, small, universe);
+      p.b = RandomSortedTokens(&rng, large, universe);
+      p.sig_a = TokenSignature(p.a.data(), p.a.size());
+      p.sig_b = TokenSignature(p.b.data(), p.b.size());
+    }
+    const double total =
+        static_cast<double>(pairs.size()) * static_cast<double>(rounds);
+    size_t sink_linear = 0;
+    Stopwatch w_linear;
+    for (int r = 0; r < rounds; ++r) {
+      for (const SetPair& p : pairs) {
+        sink_linear +=
+            IntersectLinear(p.a.data(), p.a.size(), p.b.data(), p.b.size());
+      }
+    }
+    const double s_linear = w_linear.ElapsedSeconds();
+    size_t sink_gallop = 0;
+    Stopwatch w_gallop;
+    for (int r = 0; r < rounds; ++r) {
+      for (const SetPair& p : pairs) {
+        sink_gallop +=
+            IntersectGallop(p.a.data(), p.a.size(), p.b.data(), p.b.size());
+      }
+    }
+    const double s_gallop = w_gallop.ElapsedSeconds();
+    size_t sink_auto = 0;
+    Stopwatch w_auto;
+    for (int r = 0; r < rounds; ++r) {
+      for (const SetPair& p : pairs) {
+        sink_auto +=
+            IntersectSize(p.a.data(), p.a.size(), p.b.data(), p.b.size());
+      }
+    }
+    const double s_auto = w_auto.ElapsedSeconds();
+    if (sink_linear != sink_gallop || sink_linear != sink_auto) {
+      std::fprintf(stderr,
+                   "FATAL: intersection algorithms disagree (shape %zux%zu)\n",
+                   small, large);
+      return 1;
+    }
+    // Signature-reject: the O(1) bound, falling back to the exact merge
+    // only when the bound cannot decide "empty" — the filter-then-verify
+    // shape refinement uses (here with threshold 0: reject iff provably
+    // disjoint).
+    size_t sink_sig = 0;
+    size_t skipped = 0;
+    Stopwatch w_sig;
+    for (int r = 0; r < rounds; ++r) {
+      for (const SetPair& p : pairs) {
+        if (SigIntersectionUpperBound(p.a.size(), p.sig_a, p.b.size(),
+                                      p.sig_b) == 0) {
+          ++skipped;
+          continue;
+        }
+        sink_sig +=
+            IntersectSize(p.a.data(), p.a.size(), p.b.data(), p.b.size());
+      }
+    }
+    const double s_sig = w_sig.ElapsedSeconds();
+    if (sink_sig != sink_linear) {
+      std::fprintf(stderr, "FATAL: signature reject changed a result\n");
+      return 1;
+    }
+    const auto mps = [&](double s) { return s > 0 ? total / s / 1e6 : 0.0; };
+    const double skip_pct = 100.0 * static_cast<double>(skipped) / total;
+    std::printf("%7zux%-7zu %12.2f %12.2f %12.2f %14.2f %11.1f%%\n", small,
+                large, mps(s_linear), mps(s_gallop), mps(s_auto), mps(s_sig),
+                skip_pct);
+    std::fflush(stdout);
+    reporter.AddKnobRow(env_knobs)
+        .Str("section", "intersection")
+        .Num("small", static_cast<double>(small))
+        .Num("large", static_cast<double>(large))
+        .Num("merge_mpairs_per_sec", mps(s_linear))
+        .Num("gallop_mpairs_per_sec", mps(s_gallop))
+        .Num("auto_mpairs_per_sec", mps(s_auto))
+        .Num("sig_reject_mpairs_per_sec", mps(s_sig))
+        .Num("sig_skip_pct", skip_pct);
+  }
+
+  // --- Section 2: arena vs vector layout ----------------------------------
+  // Real imputed tuples from a text-heavy profile; the workload is the
+  // exact per-attribute Jaccard sum of InstanceSimilarity, read once
+  // through the heap TokenSets and once through the flat arena views.
+  const std::string layout_dataset = "Citations";
+  ExperimentParams layout_params = BaseParams(layout_dataset);
+  Experiment layout_experiment(ProfileByName(layout_dataset), layout_params);
+  std::unique_ptr<Repository> repo = layout_experiment.BuildRepository();
+  std::vector<ImputedTuple> tuples;
+  for (const Record& r : layout_experiment.dataset().source_a) {
+    if (tuples.size() >= 400) break;
+    tuples.push_back(ImputedTuple::FromComplete(r, repo.get()));
+  }
+  std::printf("\n-- layout: %zu tuples, all-pairs instance similarity --\n",
+              tuples.size());
+  const int d = repo->num_attributes();
+  double sum_vec = 0.0;
+  Stopwatch w_vec;
+  for (const ImputedTuple& a : tuples) {
+    for (const ImputedTuple& b : tuples) {
+      double sim = 0.0;
+      for (int k = 0; k < d; ++k) {
+        sim += JaccardSimilarity(a.instance_tokens(0, k),
+                                 b.instance_tokens(0, k));
+      }
+      sum_vec += sim;
+    }
+  }
+  const double s_vec = w_vec.ElapsedSeconds();
+  double sum_arena = 0.0;
+  Stopwatch w_arena;
+  for (const ImputedTuple& a : tuples) {
+    for (const ImputedTuple& b : tuples) {
+      sum_arena += InstanceSimilarity(a, 0, b, 0);
+    }
+  }
+  const double s_arena = w_arena.ElapsedSeconds();
+  if (sum_vec != sum_arena) {
+    std::fprintf(stderr, "FATAL: arena layout changed similarity sums\n");
+    return 1;
+  }
+  const double n_pairs = static_cast<double>(tuples.size()) *
+                         static_cast<double>(tuples.size());
+  std::printf("%14s %14s %9s\n", "vector Mp/s", "arena Mp/s", "speedup");
+  const double vec_mps = s_vec > 0 ? n_pairs / s_vec / 1e6 : 0.0;
+  const double arena_mps = s_arena > 0 ? n_pairs / s_arena / 1e6 : 0.0;
+  std::printf("%14.3f %14.3f %8.2fx\n", vec_mps, arena_mps,
+              vec_mps > 0 ? arena_mps / vec_mps : 0.0);
+  reporter.AddKnobRow(env_knobs)
+      .Str("section", "layout")
+      .Str("dataset", layout_dataset)
+      .Num("pairs", n_pairs)
+      .Num("vector_mpairs_per_sec", vec_mps)
+      .Num("arena_mpairs_per_sec", arena_mps);
+
+  // --- Section 3: end-to-end refine-phase effect per profile --------------
+  std::printf("\n-- end-to-end TER-iDS: signature filter off vs on --\n");
+  std::printf("%-10s %16s %16s %9s %12s\n", "dataset", "refine-off ms/ar",
+              "refine-on ms/ar", "speedup", "matches");
+  for (const std::string& dataset : AllDatasets()) {
+    ExperimentParams params = BaseParams(dataset);
+    Experiment experiment(ProfileByName(dataset), params);
+    EngineConfig off_config = experiment.MakeConfig();
+    off_config.signature_filter = false;
+    PipelineRun off = experiment.Run(PipelineKind::kTerIds, off_config);
+    EngineConfig on_config = experiment.MakeConfig();
+    on_config.signature_filter = true;
+    PipelineRun on = experiment.Run(PipelineKind::kTerIds, on_config);
+    // The acceptance contract: the filter skips merges, never changes
+    // output. A run violating it must not report numbers as if it passed.
+    if (on.stats.matched != off.stats.matched ||
+        on.stats.refined != off.stats.refined ||
+        on.stats.total_pairs != off.stats.total_pairs ||
+        on.final_result_size != off.final_result_size) {
+      std::fprintf(stderr,
+                   "FATAL: signature filter changed results on %s\n",
+                   dataset.c_str());
+      return 1;
+    }
+    const auto refine_ms = [](const PipelineRun& run) {
+      return run.arrivals > 0 ? 1e3 * run.total_cost.refine_seconds /
+                                    static_cast<double>(run.arrivals)
+                              : 0.0;
+    };
+    const double off_ms = refine_ms(off);
+    const double on_ms = refine_ms(on);
+    std::printf("%-10s %16.4f %16.4f %8.2fx %12llu\n", dataset.c_str(),
+                off_ms, on_ms, on_ms > 0 ? off_ms / on_ms : 0.0,
+                static_cast<unsigned long long>(on.stats.matched));
+    std::fflush(stdout);
+    reporter.AddKnobRow(env_knobs)
+        .Str("section", "end_to_end")
+        .Str("dataset", dataset)
+        .Num("refine_ms_per_arrival_sig_off", off_ms)
+        .Num("refine_ms_per_arrival_sig_on", on_ms)
+        .Num("total_ms_per_arrival_sig_off", 1e3 * off.avg_arrival_seconds)
+        .Num("total_ms_per_arrival_sig_on", 1e3 * on.avg_arrival_seconds)
+        .Num("matched", static_cast<double>(on.stats.matched));
+  }
+  std::printf(
+      "\nexpected shape: gallop wins over the merge as the size skew grows;\n"
+      "the signature reject approaches bitmap speed on disjoint-heavy\n"
+      "workloads; the arena layout wins on locality; and the end-to-end\n"
+      "refine phase speeds up most on text-heavy profiles, with identical\n"
+      "matches and PruneStats in every cell.\n");
+  return 0;
+}

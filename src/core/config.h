@@ -58,6 +58,27 @@ struct EngineConfig {
   /// imputation/candidate generation of batch k+1 overlaps refinement of
   /// batch k, at most this many batches ahead.
   int ingest_queue_depth = 0;
+  /// Enables the signature-bounded Jaccard kernel inside refinement: the
+  /// per-(instance, attribute) 64-bit token signatures precomputed in each
+  /// tuple's TokenArena give an O(1) popcount upper bound that rejects
+  /// instance pairs before any token merge runs (DESIGN.md §9). The bound
+  /// only skips merges whose sim > gamma verdict is already decided, so
+  /// emitted matches, MatchSet, and PruneStats are bit-identical with the
+  /// filter on or off (the equivalence sweep enforces it).
+  bool signature_filter = true;
+  /// MaintainPhase fan-out: 1 = grid insert/remove runs serially on the
+  /// maintaining thread (seed behavior); > 1 = the per-shard insert/remove
+  /// work of one arrival is fanned out across the ER-grid's shards on its
+  /// ThreadPool (effective width is the number of shards the arrival
+  /// touches, at most grid_shards). Shards share no state, so every
+  /// setting produces identical grid contents and results.
+  int maintain_shards = 1;
+  /// Enables the batch-scoped CDD-selection memoization probe
+  /// (CostBreakdown::cdd_memo_*). Off by default: the PR-3 measurement
+  /// found a near-zero hit rate on every profile, so the hot loop no
+  /// longer pays for the signature bookkeeping unless explicitly asked to
+  /// re-measure (see ROADMAP).
+  bool cdd_memo_probe = false;
   /// Physical storage backend behind the repository R the engines read
   /// (DESIGN.md §8). Engines never construct repositories themselves —
   /// Experiment::BuildRepository consults this (building and mmapping a

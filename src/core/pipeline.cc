@@ -41,6 +41,7 @@ PipelineBase::PipelineBase(Repository* repo, EngineConfig config,
   TERIDS_CHECK(config_.refine_threads >= 1);
   TERIDS_CHECK(config_.grid_shards >= 1);
   TERIDS_CHECK(config_.ingest_queue_depth >= 0);
+  TERIDS_CHECK(config_.maintain_shards >= 1);
   windows_.reserve(num_streams);
   for (int i = 0; i < num_streams; ++i) {
     windows_.emplace_back(config_.window_size);
@@ -156,7 +157,8 @@ void PipelineBase::RefinePhase(ArrivalContext* ctx) {
       task.probe_topic = &ctx->wt->topic;
       task.candidate = cand;
       const PairEvaluation eval = RefinementExecutor::Evaluate(
-          task, use_prunings_, config_.gamma, config_.alpha);
+          task, use_prunings_, config_.signature_filter, config_.gamma,
+          config_.alpha);
       ApplyEvaluation(ctx, cand, eval);
     }
     return;
@@ -167,7 +169,8 @@ void PipelineBase::RefinePhase(ArrivalContext* ctx) {
     tasks.push_back({ctx->tuple.get(), &ctx->wt->topic, cand});
   }
   std::vector<PairEvaluation> evals;
-  refiner()->Run(tasks, use_prunings_, config_.gamma, config_.alpha, &evals);
+  refiner()->Run(tasks, use_prunings_, config_.signature_filter,
+                 config_.gamma, config_.alpha, &evals);
   for (size_t i = 0; i < ctx->candidates.size(); ++i) {
     ApplyEvaluation(ctx, ctx->candidates[i], evals[i]);
   }
@@ -175,15 +178,18 @@ void PipelineBase::RefinePhase(ArrivalContext* ctx) {
 
 void PipelineBase::MaintainPhase(ArrivalContext* ctx,
                                  bool defer_result_eviction) {
-  if (grid_ != nullptr) {
-    grid_->Insert(ctx->wt.get());
-  }
+  // The window push decides the eviction first so the arrival's grid
+  // insert and the expired tuple's grid removal can run as one fan-out
+  // (per-shard tasks on the grid pool when maintain_shards > 1); insert
+  // and removal touch independent tuples, so the order swap with the
+  // original insert-push-remove sequence cannot change the grid.
   std::shared_ptr<WindowTuple> evicted =
       windows_[ctx->record.stream_id].Push(ctx->wt);
+  if (grid_ != nullptr) {
+    grid_->Maintain(ctx->wt.get(), evicted.get(),
+                    /*parallel=*/config_.maintain_shards > 1);
+  }
   if (evicted != nullptr) {
-    if (grid_ != nullptr) {
-      grid_->Remove(evicted.get());
-    }
     if (!defer_result_eviction) {
       matches_.RemoveAllWith(evicted->rid());
     }
@@ -233,8 +239,8 @@ void PipelineBase::RefineAndReplay(std::vector<ArrivalContext>* ctxs) {
   std::vector<PairEvaluation> evals;
   {
     ScopedTimer timer(&refine_wall);
-    refiner()->Run(tasks, use_prunings_, config_.gamma, config_.alpha,
-                   &evals);
+    refiner()->Run(tasks, use_prunings_, config_.signature_filter,
+                   config_.gamma, config_.alpha, &evals);
   }
 
   // Replay in arrival order: evaluations fold into each arrival's stats

@@ -142,6 +142,9 @@ class PipelineBase : public ErPipeline {
   /// evaluations into the arrival's stats and the result set immediately.
   void RefinePhase(ArrivalContext* ctx);
   /// Lines 2-7, 11-13: grid + window insertion and the eviction cascade.
+  /// With `EngineConfig::maintain_shards > 1` the arrival's grid insert and
+  /// the expired tuple's grid removal fan out per shard on the grid's
+  /// ThreadPool (DESIGN.md §9); output is identical for every setting.
   /// When `defer_result_eviction`, the expired tuple's MatchSet removal is
   /// left to the caller (batched mode replays it after deferred
   /// refinement, in arrival order) and the tuple is parked in

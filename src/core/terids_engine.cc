@@ -50,7 +50,11 @@ std::vector<AttrBand> TerIdsEngine::BandsForRule(const CddRule& rule,
   return bands;
 }
 
-void TerIdsEngine::BeginBatch() { batch_cdd_sigs_.clear(); }
+void TerIdsEngine::BeginBatch() {
+  if (config_.cdd_memo_probe) {
+    batch_cdd_sigs_.clear();
+  }
+}
 
 uint64_t TerIdsEngine::DeterminantSignature(const Record& r,
                                             int missing_attr) {
@@ -113,8 +117,10 @@ std::vector<ImputedTuple::ImputedAttr> TerIdsEngine::Impute(
     // Memoization probe: would a batch-scoped cache keyed by determinant
     // signature have answered this selection? Counted only — the selection
     // still runs, so results are unchanged while CostBreakdown reports the
-    // would-be hit rate (measure before building the cache).
-    if (cost != nullptr) {
+    // would-be hit rate. Gated off by default: the measured rate was near
+    // zero on every profile (ROADMAP), so the hot loop skips the signature
+    // hashing unless a run explicitly re-measures.
+    if (config_.cdd_memo_probe && cost != nullptr) {
       cost->cdd_memo_queries += 1.0;
       if (!batch_cdd_sigs_.insert(DeterminantSignature(r, j)).second) {
         cost->cdd_memo_repeats += 1.0;

@@ -64,10 +64,11 @@ class TerIdsEngine : public PipelineBase {
   CddIndex cdd_index_;
   DrIndex dr_index_;
   ValueNeighborhoods neighborhoods_;
-  /// CDD-selection memoization probe (ROADMAP: measure the would-be hit
-  /// rate before building the cache): determinant signatures seen since the
-  /// last BeginBatch. Repeats are reported via
-  /// CostBreakdown::cdd_memo_{queries,repeats}.
+  /// CDD-selection memoization probe: determinant signatures seen since the
+  /// last BeginBatch, reported via CostBreakdown::cdd_memo_{queries,
+  /// repeats}. Only maintained when EngineConfig::cdd_memo_probe is set —
+  /// the PR-3 measurement found a near-zero hit rate, so by default the
+  /// hot loop pays nothing for it (ROADMAP decision).
   std::unordered_set<uint64_t> batch_cdd_sigs_;
 };
 

@@ -9,7 +9,8 @@ RefineResult RefineProbability(const ImputedTuple& a,
                                const TopicQuery::TupleTopic& a_topic,
                                const ImputedTuple& b,
                                const TopicQuery::TupleTopic& b_topic,
-                               double gamma, double alpha) {
+                               double gamma, double alpha,
+                               bool signature_filter) {
   RefineResult result;
   // Unprocessed mass starts at the full joint mass; Theorem 4.4's
   // overestimate treats every unprocessed instance pair as a match.
@@ -23,7 +24,7 @@ RefineResult RefineProbability(const ImputedTuple& a,
       ++result.pairs_evaluated;
       const bool topical = ta || b_topic.instance_matches[mp];
       if (topical &&
-          InstanceSimilarity(a, m, b, mp) > gamma) {
+          InstanceSimilarityExceeds(a, m, b, mp, gamma, signature_filter)) {
         result.probability += joint;
       }
       if (result.probability > alpha) {
@@ -42,14 +43,16 @@ RefineResult RefineProbability(const ImputedTuple& a,
 double ExactProbability(const ImputedTuple& a,
                         const TopicQuery::TupleTopic& a_topic,
                         const ImputedTuple& b,
-                        const TopicQuery::TupleTopic& b_topic, double gamma) {
+                        const TopicQuery::TupleTopic& b_topic, double gamma,
+                        bool signature_filter) {
   double prob = 0.0;
   for (int m = 0; m < a.num_instances(); ++m) {
     const double pa = a.instance_prob(m);
     const bool ta = a_topic.instance_matches[m];
     for (int mp = 0; mp < b.num_instances(); ++mp) {
       const bool topical = ta || b_topic.instance_matches[mp];
-      if (topical && InstanceSimilarity(a, m, b, mp) > gamma) {
+      if (topical &&
+          InstanceSimilarityExceeds(a, m, b, mp, gamma, signature_filter)) {
         prob += pa * b.instance_prob(mp);
       }
     }

@@ -29,19 +29,24 @@ struct RefineResult {
 /// certified a non-match; if (accumulated) > alpha it is certified a match.
 ///
 /// `a_topic` / `b_topic` carry the precomputed per-instance 𝜛 flags of the
-/// two tuples under the query topic.
+/// two tuples under the query topic. With `signature_filter` each instance
+/// pair's sim > gamma verdict goes through the signature-bounded kernel
+/// (InstanceSimilarityExceeds), which may skip merges but never changes a
+/// verdict — the result is bit-identical either way.
 RefineResult RefineProbability(const ImputedTuple& a,
                                const TopicQuery::TupleTopic& a_topic,
                                const ImputedTuple& b,
                                const TopicQuery::TupleTopic& b_topic,
-                               double gamma, double alpha);
+                               double gamma, double alpha,
+                               bool signature_filter = true);
 
-/// Exact (never early-terminated) form, for tests and ground-truth
-/// computation.
+/// Exact (never early-terminated) form, for tests, ground-truth
+/// computation, and the unpruned baselines.
 double ExactProbability(const ImputedTuple& a,
                         const TopicQuery::TupleTopic& a_topic,
                         const ImputedTuple& b,
-                        const TopicQuery::TupleTopic& b_topic, double gamma);
+                        const TopicQuery::TupleTopic& b_topic, double gamma,
+                        bool signature_filter = true);
 
 }  // namespace terids
 

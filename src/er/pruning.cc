@@ -9,7 +9,8 @@ PairEvaluation EvaluatePair(const ImputedTuple& a,
                             const TopicQuery::TupleTopic& a_topic,
                             const ImputedTuple& b,
                             const TopicQuery::TupleTopic& b_topic,
-                            double gamma, double alpha) {
+                            double gamma, double alpha,
+                            bool signature_filter) {
   PairEvaluation eval;
 
   // Theorem 4.1: no instance of either tuple contains a query keyword.
@@ -32,7 +33,8 @@ PairEvaluation EvaluatePair(const ImputedTuple& a,
 
   // Refinement with Theorem 4.4 early termination.
   RefineResult refine =
-      RefineProbability(a, a_topic, b, b_topic, gamma, alpha);
+      RefineProbability(a, a_topic, b, b_topic, gamma, alpha,
+                        signature_filter);
   if (refine.early_pruned) {
     eval.outcome = PairOutcome::kInstancePruned;
     return eval;

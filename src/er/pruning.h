@@ -97,12 +97,16 @@ struct PairEvaluation {
 /// fires, refines the exact probability. Pure function of its arguments —
 /// no shared mutable state — so concurrent calls on distinct or identical
 /// pairs are safe; callers fold the returned evaluation into their own
-/// PruneStats via PruneStats::Record.
+/// PruneStats via PruneStats::Record. `signature_filter` routes the
+/// refinement's instance-level verdicts through the signature-bounded
+/// Jaccard kernel; it skips merges only, so the outcome (and therefore
+/// every PruneStats counter) is identical with it on or off.
 PairEvaluation EvaluatePair(const ImputedTuple& a,
                             const TopicQuery::TupleTopic& a_topic,
                             const ImputedTuple& b,
                             const TopicQuery::TupleTopic& b_topic,
-                            double gamma, double alpha);
+                            double gamma, double alpha,
+                            bool signature_filter = true);
 
 }  // namespace terids
 

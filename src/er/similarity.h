@@ -10,9 +10,22 @@ namespace terids {
 /// attributes of the per-attribute Jaccard similarities. Range [0, d].
 double RecordSimilarity(const Record& a, const Record& b);
 
-/// Definition 5 between two materialized instances of imputed tuples.
+/// Definition 5 between two materialized instances of imputed tuples,
+/// computed over the tuples' flat token-arena views.
 double InstanceSimilarity(const ImputedTuple& a, int inst_a,
                           const ImputedTuple& b, int inst_b);
+
+/// The refinement hot-path kernel: decides InstanceSimilarity(a, b) > gamma
+/// without necessarily running any merge. With `signature_filter`, the
+/// per-attribute signature Jaccard upper bounds are summed first — if even
+/// the bound cannot exceed gamma the pair is rejected in O(d) popcounts —
+/// and the exact per-attribute merges that do run terminate early once the
+/// accumulated exact sum either exceeds gamma or provably cannot. The
+/// returned verdict is always exactly `InstanceSimilarity(...) > gamma`:
+/// bounds only skip work whose outcome is decided, never change it.
+bool InstanceSimilarityExceeds(const ImputedTuple& a, int inst_a,
+                               const ImputedTuple& b, int inst_b, double gamma,
+                               bool signature_filter);
 
 /// The equivalent distance form used by the pivot bounds: dist(a, b) =
 /// d - sim(a, b) = sum of per-attribute Jaccard distances.
@@ -21,8 +34,13 @@ double InstanceDistance(const ImputedTuple& a, int inst_a,
 
 /// Similarity for heterogeneous schemas (Section 2.3's discussion): the
 /// Jaccard similarity of the union token sets T(r) and T(r') over all
-/// attributes. Range [0, 1]; missing attributes contribute nothing.
+/// attributes. Range [0, 1]; missing attributes contribute nothing. The
+/// Record overload unions into thread-local scratch (no per-call
+/// allocation); the ImputedTuple overload reads the unions cached in the
+/// tuples' token arenas.
 double HeterogeneousRecordSimilarity(const Record& a, const Record& b);
+double HeterogeneousRecordSimilarity(const ImputedTuple& a,
+                                     const ImputedTuple& b);
 
 }  // namespace terids
 

@@ -164,6 +164,8 @@ EngineConfig Experiment::MakeConfig() const {
   config.refine_threads = params_.refine_threads;
   config.grid_shards = params_.grid_shards;
   config.ingest_queue_depth = params_.ingest_queue_depth;
+  config.signature_filter = params_.signature_filter;
+  config.maintain_shards = params_.maintain_shards;
   config.repo_backend = params_.repo_backend;
   return config;
 }
@@ -181,13 +183,17 @@ PipelineRun Experiment::Run(PipelineKind kind, int batch_size,
 PipelineRun Experiment::Run(PipelineKind kind, int batch_size,
                             int refine_threads, int grid_shards,
                             int ingest_queue_depth) {
-  TERIDS_CHECK(batch_size >= 1);
-  std::unique_ptr<Repository> repo = BuildRepository();
   EngineConfig config = MakeConfig();
   config.batch_size = batch_size;
   config.refine_threads = refine_threads;
   config.grid_shards = grid_shards;
   config.ingest_queue_depth = ingest_queue_depth;
+  return Run(kind, config);
+}
+
+PipelineRun Experiment::Run(PipelineKind kind, const EngineConfig& config) {
+  TERIDS_CHECK(config.batch_size >= 1);
+  std::unique_ptr<Repository> repo = BuildRepository();
   std::unique_ptr<ErPipeline> pipeline = MakePipeline(
       kind, repo.get(), config, /*num_streams=*/2, cdds_, dds_, editing_);
   TERIDS_CHECK(pipeline != nullptr);
@@ -203,7 +209,7 @@ PipelineRun Experiment::Run(PipelineKind kind, int batch_size,
   // operator: the synchronous NextBatch/ProcessBatch loop by default, the
   // async double-buffered ingest loop when ingest_queue_depth > 0.
   run.arrivals = pipeline->ProcessStream(
-      &driver, cap, static_cast<size_t>(batch_size),
+      &driver, cap, static_cast<size_t>(config.batch_size),
       [&](ArrivalOutcome&& outcome) {
         run.total_cost.Add(outcome.cost);
         all_matches.insert(all_matches.end(), outcome.new_matches.begin(),

@@ -39,6 +39,12 @@ struct ExperimentParams {
   int refine_threads = 1;
   int grid_shards = 1;
   int ingest_queue_depth = 0;
+  /// Signature-bounded Jaccard kernel inside refinement (on by default;
+  /// results are bit-identical either way, only merge work is skipped).
+  bool signature_filter = true;
+  /// MaintainPhase grid fan-out (> 1 = per-shard insert/remove on the grid
+  /// pool; identical output for every setting).
+  int maintain_shards = 1;
   /// Repository storage backend each Run()'s fresh repository uses. With
   /// kMmapSnapshot, BuildRepository serializes the in-memory build into a
   /// temporary snapshot file and reopens it via mmap — results are
@@ -80,6 +86,11 @@ class Experiment {
   /// ER-grid shard count, and async-ingest queue depth.
   PipelineRun Run(PipelineKind kind, int batch_size, int refine_threads,
                   int grid_shards, int ingest_queue_depth);
+  /// Fully explicit run under an arbitrary EngineConfig (start from
+  /// MakeConfig() and tweak); the generalized entry point for knob benches
+  /// that sweep axes without a dedicated override (signature filter,
+  /// maintain shards, ...).
+  PipelineRun Run(PipelineKind kind, const EngineConfig& config);
 
   const GeneratedDataset& dataset() const { return dataset_; }
   const ExperimentParams& params() const { return params_; }

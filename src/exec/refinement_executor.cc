@@ -12,25 +12,28 @@ RefinementExecutor::RefinementExecutor(int num_threads)
 RefinementExecutor::~RefinementExecutor() = default;
 
 PairEvaluation RefinementExecutor::Evaluate(const Task& task,
-                                            bool use_prunings, double gamma,
-                                            double alpha) {
+                                            bool use_prunings,
+                                            bool signature_filter,
+                                            double gamma, double alpha) {
   const WindowTuple& cand = *task.candidate;
   if (use_prunings) {
     return EvaluatePair(*task.probe, *task.probe_topic, *cand.tuple,
-                        cand.topic, gamma, alpha);
+                        cand.topic, gamma, alpha, signature_filter);
   }
   // Unpruned baselines: every pair is fully refined with the exact
   // probability, matching the sequential unpruned loop bit-for-bit.
   PairEvaluation eval;
-  eval.probability = ExactProbability(*task.probe, *task.probe_topic,
-                                      *cand.tuple, cand.topic, gamma);
+  eval.probability =
+      ExactProbability(*task.probe, *task.probe_topic, *cand.tuple,
+                       cand.topic, gamma, signature_filter);
   eval.outcome = eval.probability > alpha ? PairOutcome::kMatched
                                           : PairOutcome::kRefuted;
   return eval;
 }
 
 void RefinementExecutor::Run(const std::vector<Task>& tasks,
-                             bool use_prunings, double gamma, double alpha,
+                             bool use_prunings, bool signature_filter,
+                             double gamma, double alpha,
                              std::vector<PairEvaluation>* evaluations) {
   const int64_t n = static_cast<int64_t>(tasks.size());
   evaluations->resize(tasks.size());
@@ -39,7 +42,8 @@ void RefinementExecutor::Run(const std::vector<Task>& tasks,
   }
   if (pool_.concurrency() == 1) {
     for (int64_t i = 0; i < n; ++i) {
-      (*evaluations)[i] = Evaluate(tasks[i], use_prunings, gamma, alpha);
+      (*evaluations)[i] =
+          Evaluate(tasks[i], use_prunings, signature_filter, gamma, alpha);
     }
     return;
   }
@@ -52,7 +56,8 @@ void RefinementExecutor::Run(const std::vector<Task>& tasks,
     const int64_t begin = shard * shard_size;
     const int64_t end = std::min(n, begin + shard_size);
     for (int64_t i = begin; i < end; ++i) {
-      (*evaluations)[i] = Evaluate(tasks[i], use_prunings, gamma, alpha);
+      (*evaluations)[i] =
+          Evaluate(tasks[i], use_prunings, signature_filter, gamma, alpha);
     }
   });
 }

@@ -37,9 +37,11 @@ class RefinementExecutor {
 
   /// Evaluates a single pair — the unit of work every worker runs, also
   /// usable directly by the sequential refinement loop (no task vector, no
-  /// dispatch).
+  /// dispatch). `signature_filter` enables the signature-bounded Jaccard
+  /// kernel inside refinement (verdicts identical either way).
   static PairEvaluation Evaluate(const Task& task, bool use_prunings,
-                                 double gamma, double alpha);
+                                 bool signature_filter, double gamma,
+                                 double alpha);
 
   int num_threads() const { return pool_.concurrency(); }
 
@@ -47,8 +49,9 @@ class RefinementExecutor {
   /// (EvaluatePair); without it the exact probability is always computed,
   /// reproducing the unpruned baselines. `evaluations` is resized to
   /// `tasks.size()`.
-  void Run(const std::vector<Task>& tasks, bool use_prunings, double gamma,
-           double alpha, std::vector<PairEvaluation>* evaluations);
+  void Run(const std::vector<Task>& tasks, bool use_prunings,
+           bool signature_filter, double gamma, double alpha,
+           std::vector<PairEvaluation>* evaluations);
 
  private:
   ThreadPool pool_;

@@ -59,41 +59,82 @@ std::vector<GridCellKey> ShardedErGrid::CellsOf(
 
 void ShardedErGrid::Insert(const WindowTuple* wt) {
   TERIDS_CHECK(wt != nullptr);
-  const int64_t rid = wt->rid();
-  TERIDS_CHECK(tuple_shards_.count(rid) == 0);
-  std::vector<GridCellKey> keys = CellsOf(*wt->tuple);
-  std::vector<std::vector<GridCellKey>> routed(shards_.size());
-  for (GridCellKey key : keys) {
-    routed[ShardOf(key)].push_back(key);
-  }
-  std::vector<int> holding;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (routed[s].empty()) {
-      continue;
-    }
-    shards_[s]->Insert(wt, std::move(routed[s]));
-    holding.push_back(static_cast<int>(s));
-  }
-  if (holding.size() > 1) {
-    ++multi_shard_tuples_;
-  }
-  tuple_shards_.emplace(rid, std::move(holding));
+  Maintain(wt, /*expired=*/nullptr, /*parallel=*/false);
 }
 
 bool ShardedErGrid::Remove(const WindowTuple* wt) {
   TERIDS_CHECK(wt != nullptr);
-  auto it = tuple_shards_.find(wt->rid());
-  if (it == tuple_shards_.end()) {
-    return false;
+  return Maintain(/*insert=*/nullptr, wt, /*parallel=*/false);
+}
+
+bool ShardedErGrid::Maintain(const WindowTuple* insert,
+                             const WindowTuple* expired, bool parallel) {
+  // Coordinator prologue (serial): route the insert's cell keys, resolve
+  // which shards hold the expired tuple, and settle the rid maps — the
+  // fan-out below then touches nothing but disjoint shards.
+  std::vector<std::vector<GridCellKey>> routed(shards_.size());
+  std::vector<int> holding;
+  if (insert != nullptr) {
+    TERIDS_CHECK(tuple_shards_.count(insert->rid()) == 0);
+    for (GridCellKey key : CellsOf(*insert->tuple)) {
+      routed[ShardOf(key)].push_back(key);
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!routed[s].empty()) {
+        holding.push_back(static_cast<int>(s));
+      }
+    }
   }
-  for (int s : it->second) {
-    TERIDS_CHECK(shards_[s]->Remove(wt));
+  std::vector<uint8_t> removes(shards_.size(), 0);
+  bool found = true;
+  if (expired != nullptr) {
+    auto it = tuple_shards_.find(expired->rid());
+    if (it == tuple_shards_.end()) {
+      found = false;
+    } else {
+      for (int s : it->second) {
+        removes[s] = 1;
+      }
+      if (it->second.size() > 1) {
+        --multi_shard_tuples_;
+      }
+      tuple_shards_.erase(it);
+    }
   }
-  if (it->second.size() > 1) {
-    --multi_shard_tuples_;
+  if (insert != nullptr) {
+    if (holding.size() > 1) {
+      ++multi_shard_tuples_;
+    }
+    tuple_shards_.emplace(insert->rid(), std::move(holding));
   }
-  tuple_shards_.erase(it);
-  return true;
+
+  std::vector<int> involved;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!routed[s].empty() || removes[s] != 0) {
+      involved.push_back(static_cast<int>(s));
+    }
+  }
+
+  // Per-shard work, insert before remove (the serial sequence's order
+  // within each shard; shards are mutually independent, so fan-out
+  // scheduling cannot change the grid contents).
+  const auto maintain_shard = [&](int64_t i) {
+    const int s = involved[static_cast<size_t>(i)];
+    if (!routed[s].empty()) {
+      shards_[s]->Insert(insert, std::move(routed[s]));
+    }
+    if (removes[s] != 0) {
+      TERIDS_CHECK(shards_[s]->Remove(expired));
+    }
+  };
+  if (parallel && pool_ != nullptr && involved.size() > 1) {
+    pool_->ParallelFor(static_cast<int64_t>(involved.size()), maintain_shard);
+  } else {
+    for (size_t i = 0; i < involved.size(); ++i) {
+      maintain_shard(static_cast<int64_t>(i));
+    }
+  }
+  return found;
 }
 
 ShardedErGrid::CandidateResult ShardedErGrid::Candidates(

@@ -39,6 +39,17 @@ class ShardedErGrid {
   /// Removes an expired tuple. Returns false if it was never inserted.
   bool Remove(const WindowTuple* wt);
 
+  /// One arrival's window maintenance in a single call: inserts `insert`
+  /// and removes `expired` (either may be null). With `parallel`, the
+  /// per-shard work — this shard's insert keys plus its removal of the
+  /// expired tuple — fans out across the involved shards on the probe
+  /// ThreadPool (DESIGN.md §9); shards share no state and each task
+  /// touches exactly one shard, so the grid contents are identical to the
+  /// serial Insert-then-Remove sequence for every setting. Returns false
+  /// iff `expired` was non-null but never inserted.
+  bool Maintain(const WindowTuple* insert, const WindowTuple* expired,
+                bool parallel);
+
   size_t num_tuples() const { return tuple_shards_.size(); }
   size_t num_cells() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }

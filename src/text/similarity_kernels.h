@@ -1,0 +1,113 @@
+#ifndef TERIDS_TEXT_SIMILARITY_KERNELS_H_
+#define TERIDS_TEXT_SIMILARITY_KERNELS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "text/token_dict.h"
+#include "util/bits.h"
+
+namespace terids {
+
+/// Flat, allocation-free primitives behind every Jaccard evaluation: sorted
+/// token spans (raw pointer + length, as stored by TokenArena), set
+/// intersection (linear merge for balanced sizes, galloping for skewed
+/// ones), and the 64-bit hashed-bitmap signature whose popcount yields an
+/// O(1) upper bound on intersection size. All kernels are exact or sound:
+/// the two intersection algorithms return identical counts, and the
+/// signature bound is always >= the exact intersection size — it can only
+/// skip merges whose verdict is already decided, never change one.
+
+/// Spans whose larger side is at least this many times the smaller one are
+/// intersected by galloping instead of the linear merge: the merge is
+/// O(n + m) while galloping is O(n log m), which wins once m >> n.
+inline constexpr size_t kGallopSkewRatio = 8;
+
+/// Bit index of one token in the 64-bit signature: the top 6 bits of a
+/// Fibonacci-style multiplicative hash. Tokens are dense dictionary ids, so
+/// taking low bits directly would alias consecutive ids into runs; the
+/// multiply spreads them uniformly.
+inline int SignatureBit(Token t) {
+  const uint64_t h = static_cast<uint64_t>(t) * UINT64_C(0x9E3779B97F4A7C15);
+  return static_cast<int>(h >> 58);
+}
+
+/// Hashed-bitmap signature of a sorted, deduplicated token span.
+inline uint64_t TokenSignature(const Token* tokens, size_t n) {
+  uint64_t sig = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sig |= uint64_t{1} << SignatureBit(tokens[i]);
+  }
+  return sig;
+}
+
+/// |A ∩ B| by linear merge over two sorted spans (the seed algorithm).
+size_t IntersectLinear(const Token* a, size_t na, const Token* b, size_t nb);
+
+/// |A ∩ B| by galloping (exponential + binary search) of the smaller span
+/// into the larger one. Identical result to IntersectLinear; preferable
+/// when the sizes are heavily skewed.
+size_t IntersectGallop(const Token* a, size_t na, const Token* b, size_t nb);
+
+/// |A ∩ B| with automatic algorithm choice (kGallopSkewRatio).
+inline size_t IntersectSize(const Token* a, size_t na, const Token* b,
+                            size_t nb) {
+  const size_t small = std::min(na, nb);
+  const size_t large = std::max(na, nb);
+  if (small * kGallopSkewRatio < large) {
+    return IntersectGallop(a, na, b, nb);
+  }
+  return IntersectLinear(a, na, b, nb);
+}
+
+/// Signature-based upper bound on |A ∩ B|, given the exact set sizes and
+/// the two signatures. Any common token sets the same bit in both
+/// signatures, so disjoint signatures prove an empty intersection outright.
+/// Otherwise, let c = popcount(sa & sb) and d_A = popcount(sa): every bit
+/// set in sa but not in sb is occupied by at least one token of A that
+/// cannot be in B (B has no token hashing there), so at least d_A - c
+/// tokens of A are outside the intersection and
+/// |A ∩ B| <= |A| - (d_A - c); symmetrically for B. Both are also <= the
+/// trivial min(|A|, |B|) bound because c <= d_A and c <= d_B.
+inline size_t SigIntersectionUpperBound(size_t na, uint64_t sa, size_t nb,
+                                        uint64_t sb) {
+  const uint64_t both = sa & sb;
+  if (both == 0) {
+    return 0;
+  }
+  const size_t common = static_cast<size_t>(PopCount64(both));
+  const size_t ub_a = na - static_cast<size_t>(PopCount64(sa)) + common;
+  const size_t ub_b = nb - static_cast<size_t>(PopCount64(sb)) + common;
+  return std::min(ub_a, ub_b);
+}
+
+/// Upper bound on the Jaccard similarity of two sets from sizes +
+/// signatures alone. Jaccard = i / (|A| + |B| - i) is increasing in i, so
+/// substituting the intersection upper bound is sound. Two empty sets have
+/// similarity 1 by convention (mirrors JaccardSimilarity).
+inline double SigJaccardUpperBound(size_t na, uint64_t sa, size_t nb,
+                                   uint64_t sb) {
+  if (na == 0 && nb == 0) {
+    return 1.0;
+  }
+  const size_t ub = SigIntersectionUpperBound(na, sa, nb, sb);
+  return static_cast<double>(ub) / static_cast<double>(na + nb - ub);
+}
+
+/// Exact Jaccard similarity of two sorted spans; bit-identical to
+/// JaccardSimilarity over the equivalent TokenSets (same integer
+/// intersection, same division).
+inline double JaccardFromSpans(const Token* a, size_t na, const Token* b,
+                               size_t nb) {
+  if (na == 0 && nb == 0) {
+    return 1.0;
+  }
+  const size_t inter = IntersectSize(a, na, b, nb);
+  const size_t uni = na + nb - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace terids
+
+#endif  // TERIDS_TEXT_SIMILARITY_KERNELS_H_

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "text/similarity_kernels.h"
+
 namespace terids {
+
+const TokenSet kEmptyTokenSet;
 
 TokenSet TokenSet::FromTokens(std::vector<Token> tokens) {
   std::sort(tokens.begin(), tokens.end());
@@ -17,23 +21,8 @@ bool TokenSet::Contains(Token t) const {
 }
 
 size_t TokenSet::IntersectionSize(const TokenSet& other) const {
-  const std::vector<Token>& a = tokens_;
-  const std::vector<Token>& b = other.tokens_;
-  size_t i = 0;
-  size_t j = 0;
-  size_t count = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  return IntersectSize(tokens_.data(), tokens_.size(), other.tokens_.data(),
+                       other.tokens_.size());
 }
 
 double JaccardSimilarity(const TokenSet& a, const TokenSet& b) {

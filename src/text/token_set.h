@@ -11,9 +11,10 @@ namespace terids {
 /// A set of interned tokens stored as a sorted, deduplicated vector.
 ///
 /// This is the unit the similarity function of Definition 5 operates on:
-/// sim(r[A_j], r'[A_j]) = |T ∩ T'| / |T ∪ T'| (Jaccard). Intersections are
-/// computed with a linear merge over the sorted vectors, which is the hot
-/// path of the whole system.
+/// sim(r[A_j], r'[A_j]) = |T ∩ T'| / |T ∪ T'| (Jaccard). Intersections run
+/// through the shared span kernels of text/similarity_kernels.h (linear
+/// merge for balanced sizes, galloping for skewed ones); the refinement hot
+/// path additionally reads these sets through the flat TokenArena views.
 class TokenSet {
  public:
   TokenSet() = default;
@@ -28,7 +29,7 @@ class TokenSet {
   /// Membership test (binary search).
   bool Contains(Token t) const;
 
-  /// |this ∩ other| via linear merge.
+  /// |this ∩ other| (merge or gallop; identical counts either way).
   size_t IntersectionSize(const TokenSet& other) const;
 
   bool operator==(const TokenSet& other) const {
@@ -38,6 +39,14 @@ class TokenSet {
  private:
   std::vector<Token> tokens_;
 };
+
+/// The shared empty token set: the value of every missing attribute.
+/// Namespace-level (not a function-local static) so hot functions comparing
+/// against it pay no magic-static guard. Dynamically initialized in
+/// token_set.cc — read it at runtime only, never from another translation
+/// unit's static initializer (C++17 cannot constant-initialize a vector, so
+/// cross-TU initialization order is unspecified).
+extern const TokenSet kEmptyTokenSet;
 
 /// Jaccard similarity in [0,1]. Two empty sets are defined as similarity 1
 /// (identical absence of content), matching the convention the evaluation

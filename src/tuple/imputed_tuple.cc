@@ -1,16 +1,9 @@
 #include "tuple/imputed_tuple.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace terids {
-
-namespace {
-// Shared empty token set for missing attributes no imputer could fill.
-const TokenSet& EmptyTokenSet() {
-  static const TokenSet* kEmpty = new TokenSet();
-  return *kEmpty;
-}
-}  // namespace
 
 ImputedTuple ImputedTuple::FromComplete(Record record, const Repository* repo) {
   return FromImputation(std::move(record), repo, {}, 1);
@@ -35,6 +28,7 @@ ImputedTuple ImputedTuple::FromImputation(Record record, const Repository* repo,
   }
   tuple.MaterializeInstances(max_instances);
   tuple.ComputeAggregates();
+  tuple.BuildTokenArena();
   return tuple;
 }
 
@@ -96,10 +90,69 @@ const TokenSet& ImputedTuple::instance_tokens(int inst, int attr) const {
   const int k = attr_to_imputed_[attr];
   if (k < 0) {
     const AttrValue& v = base_.values[attr];
-    return v.missing ? EmptyTokenSet() : v.tokens;
+    return v.missing ? kEmptyTokenSet : v.tokens;
   }
   const ValueId vid = instances_[inst].choices[k];
   return repo_->value_tokens(attr, vid);
+}
+
+void ImputedTuple::BuildTokenArena() {
+  const int d = num_attributes();
+  const int m = num_instances();
+  // Exact-or-over hints: fixed ranges hold the base tokens once, the union
+  // holds at most the base tokens again, and each imputed attribute
+  // materializes at most one range per candidate (instances may choose
+  // fewer distinct values).
+  size_t token_hint = 2 * base_.TotalTokenCount();
+  size_t range_hint = 2 + static_cast<size_t>(d);
+  for (const ImputedAttr& ia : imputed_) {
+    range_hint += ia.candidates.size();
+    for (const Candidate& cand : ia.candidates) {
+      token_hint += repo_->value_tokens(ia.attr, cand.vid).size();
+    }
+  }
+  arena_.Reserve(token_hint, range_hint,
+                 /*slots=*/static_cast<size_t>(m) * static_cast<size_t>(d));
+
+  // One range per fixed (non-imputed) attribute, shared by every instance;
+  // missing-unfilled attributes alias the empty range.
+  const uint32_t empty_range = arena_.AddRange({});
+  std::vector<uint32_t> fixed_range(d, TokenArena::kInvalidRange);
+  for (int x = 0; x < d; ++x) {
+    if (attr_to_imputed_[x] >= 0) {
+      continue;
+    }
+    const AttrValue& v = base_.values[x];
+    fixed_range[x] =
+        v.missing ? empty_range : arena_.AddRange(v.tokens.tokens());
+  }
+
+  // Imputed attributes: one range per distinct chosen ValueId, aliased by
+  // every instance that picked it.
+  std::vector<std::unordered_map<ValueId, uint32_t>> vid_ranges(
+      imputed_.size());
+  for (int inst = 0; inst < m; ++inst) {
+    for (int x = 0; x < d; ++x) {
+      const int k = attr_to_imputed_[x];
+      if (k < 0) {
+        arena_.PushSlot(fixed_range[x]);
+        continue;
+      }
+      const ValueId vid = instances_[inst].choices[k];
+      auto [it, inserted] = vid_ranges[k].emplace(vid, 0);
+      if (inserted) {
+        it->second = arena_.AddRange(repo_->value_tokens(x, vid).tokens());
+      }
+      arena_.PushSlot(it->second);
+    }
+  }
+
+  // Cached record union T(r): computed once per tuple so the heterogeneous
+  // similarity never re-allocates a union per pair (same semantics as the
+  // Record overload: one shared definition).
+  std::vector<Token> all;
+  UnionRecordTokensInto(base_, &all);
+  union_range_ = arena_.AddRange(all);
 }
 
 double ImputedTuple::instance_pivot_dist(int inst, int attr,
@@ -131,7 +184,7 @@ void ImputedTuple::ComputeAggregates() {
       // distance to any non-empty pivot is 1 (and 0 to an empty pivot).
       for (int a = 0; a < np; ++a) {
         base_dists_[x][a] =
-            JaccardDistance(EmptyTokenSet(), repo_->pivot_tokens(x, a));
+            JaccardDistance(kEmptyTokenSet, repo_->pivot_tokens(x, a));
       }
     }
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "repo/repository.h"
+#include "text/token_arena.h"
 #include "text/token_set.h"
 #include "tuple/record.h"
 #include "util/interval.h"
@@ -77,6 +78,24 @@ class ImputedTuple {
   /// resolve to the empty token set.
   const TokenSet& instance_tokens(int inst, int attr) const;
 
+  /// Flat arena view of the same token set: contiguous span + precomputed
+  /// 64-bit signature, the representation the refinement kernels read
+  /// (DESIGN.md §9). Bounds-unchecked beyond the slot math — callers are
+  /// the hot path.
+  TokenView instance_token_view(int inst, int attr) const {
+    return arena_.slot(static_cast<size_t>(inst) *
+                           static_cast<size_t>(num_attributes()) +
+                       static_cast<size_t>(attr));
+  }
+
+  /// Cached union token set T(r) of the base record (all non-missing
+  /// attributes), used by the heterogeneous-schema similarity so no union
+  /// is re-allocated per pair.
+  TokenView union_token_view() const { return arena_.range(union_range_); }
+
+  /// The tuple's flat token storage (diagnostics / benches).
+  const TokenArena& token_arena() const { return arena_; }
+
   // ---- Aggregates (valid once pivots are attached to the repository) ----
 
   /// [min,max] token-set size across instances on `attr` (|T^-|, |T^+|).
@@ -106,6 +125,7 @@ class ImputedTuple {
   ImputedTuple() = default;
   void MaterializeInstances(int max_instances);
   void ComputeAggregates();
+  void BuildTokenArena();
 
   Record base_;
   const Repository* repo_ = nullptr;
@@ -118,6 +138,12 @@ class ImputedTuple {
   std::vector<std::vector<Interval>> dist_intervals_;   // [attr][pivot]
   std::vector<std::vector<double>> expected_dists_;     // [attr][pivot]
   std::vector<std::vector<double>> base_dists_;         // [attr][pivot]
+
+  /// Flat copy of every (instance, attribute) token set plus the record
+  /// union, built once at construction. Slot layout: inst * d + attr;
+  /// aliased ranges dedupe fixed attributes and repeated imputed values.
+  TokenArena arena_;
+  uint32_t union_range_ = TokenArena::kInvalidRange;
 };
 
 }  // namespace terids

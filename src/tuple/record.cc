@@ -1,5 +1,7 @@
 #include "tuple/record.h"
 
+#include <algorithm>
+
 #include "util/status.h"
 
 namespace terids {
@@ -42,6 +44,18 @@ size_t Record::TotalTokenCount() const {
     }
   }
   return total;
+}
+
+void UnionRecordTokensInto(const Record& r, std::vector<Token>* out) {
+  out->clear();
+  for (const AttrValue& v : r.values) {
+    if (!v.missing) {
+      out->insert(out->end(), v.tokens.tokens().begin(),
+                  v.tokens.tokens().end());
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
 }  // namespace terids

@@ -50,6 +50,13 @@ struct Record {
   size_t TotalTokenCount() const;
 };
 
+/// Union token set T(r) of all non-missing attributes of `r`, written into
+/// `out` sorted and deduplicated. `out` is caller-owned scratch: cleared
+/// but never shrunk, so reusing it across calls allocates nothing in steady
+/// state. The one definition of the record-union semantics shared by the
+/// heterogeneous-schema similarity and the TokenArena's cached union slot.
+void UnionRecordTokensInto(const Record& r, std::vector<Token>* out);
+
 /// A ground-truth matching pair for evaluation: records `rid_a` (from source
 /// stream A) and `rid_b` (from stream B) refer to the same real-world entity.
 struct GroundTruthPair {

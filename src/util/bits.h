@@ -19,6 +19,22 @@ inline int PopCount(uint32_t x) {
 #endif
 }
 
+/// 64-bit population count; the token-signature bound of the similarity
+/// kernels (text/similarity_kernels.h) is one popcount per side plus one on
+/// the AND.
+inline int PopCount64(uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  int n = 0;
+  while (x != 0) {
+    x &= x - 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
 }  // namespace terids
 
 #endif  // TERIDS_UTIL_BITS_H_

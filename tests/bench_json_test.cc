@@ -123,6 +123,8 @@ class EnvIntTest : public ::testing::Test {
   void TearDown() override {
     unsetenv(kKnob);
     unsetenv("TERIDS_BENCH_REPO_BACKEND");
+    unsetenv("TERIDS_BENCH_SIGFILTER");
+    unsetenv("TERIDS_BENCH_MAINTAIN");
   }
 
   /// Runs EnvInt and returns {value, stderr output}.
@@ -174,6 +176,17 @@ TEST_F(EnvIntTest, RejectsBelowMinimumWithMessage) {
   const auto [v, err] = Parse("0", 4, 1);
   EXPECT_EQ(v, 4);
   EXPECT_NE(err.find("below the minimum"), std::string::npos) << err;
+}
+
+TEST_F(EnvIntTest, SignatureFilterAndMaintainKnobsParse) {
+  // Defaults: signature filter on, serial maintain.
+  EXPECT_TRUE(EnvExecKnobs().signature_filter);
+  EXPECT_EQ(EnvExecKnobs().maintain_shards, 1);
+  setenv("TERIDS_BENCH_SIGFILTER", "0", 1);
+  setenv("TERIDS_BENCH_MAINTAIN", "4", 1);
+  const ExecKnobs knobs = EnvExecKnobs();
+  EXPECT_FALSE(knobs.signature_filter);
+  EXPECT_EQ(knobs.maintain_shards, 4);
 }
 
 TEST_F(EnvIntTest, RepoBackendKnobParsesAndRejectsLoudly) {

@@ -58,6 +58,9 @@ TEST_F(EngineBehaviorTest, ThreeStreamsMatchAcrossAnyTwo) {
 }
 
 TEST_F(EngineBehaviorTest, CddMemoProbeCountsBatchScopedRepeats) {
+  // The probe is opt-in since the PR-3 measurement found a near-zero hit
+  // rate; runs that want to re-measure flip it on explicitly.
+  config_.cdd_memo_probe = true;
   TerIdsEngine engine(world_.repo.get(), config_, 2, rules_);
   // Two incomplete arrivals with identical non-missing values and the same
   // missing attribute share a determinant signature; a complete arrival
@@ -81,6 +84,20 @@ TEST_F(EngineBehaviorTest, CddMemoProbeCountsBatchScopedRepeats) {
   ArrivalOutcome replay = engine.ProcessArrival(Post(4, 0, incomplete));
   EXPECT_DOUBLE_EQ(replay.cost.cdd_memo_queries, 1.0);
   EXPECT_DOUBLE_EQ(replay.cost.cdd_memo_repeats, 0.0);
+}
+
+TEST_F(EngineBehaviorTest, CddMemoProbeOffByDefaultCountsNothing) {
+  TerIdsEngine engine(world_.repo.get(), config_, 2, rules_);
+  const std::vector<std::string> incomplete = {"male", "blurred vision", "-",
+                                               "drug therapy"};
+  CostBreakdown cost;
+  for (ArrivalOutcome& out : engine.ProcessBatch(
+           {Post(1, 0, incomplete), Post(2, 1, incomplete)})) {
+    cost.Add(out.cost);
+  }
+  EXPECT_DOUBLE_EQ(cost.cdd_memo_queries, 0.0);
+  EXPECT_DOUBLE_EQ(cost.cdd_memo_repeats, 0.0);
+  EXPECT_DOUBLE_EQ(cost.cdd_memo_hit_rate(), 0.0);
 }
 
 TEST_F(EngineBehaviorTest, SameStreamDuplicatesNeverPair) {

@@ -81,8 +81,9 @@ INSTANTIATE_TEST_SUITE_P(
 
 // --- Batched / parallel / sharded / async operator equivalence -------------
 
-// profile, batch, refine_threads, grid_shards, ingest_queue_depth
-using BatchCombo = std::tuple<std::string, int, int, int, int>;
+// profile, batch, refine_threads, grid_shards, ingest_queue_depth,
+// maintain_shards, signature_filter
+using BatchCombo = std::tuple<std::string, int, int, int, int, int, bool>;
 
 class BatchEquivalenceSweepTest
     : public ::testing::TestWithParam<BatchCombo> {};
@@ -104,8 +105,8 @@ void ExpectSameStats(const PruneStats& a, const PruneStats& b) {
 }
 
 TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
-  const auto [profile, batch_size, refine_threads, grid_shards, queue_depth] =
-      GetParam();
+  const auto [profile, batch_size, refine_threads, grid_shards, queue_depth,
+              maintain_shards, signature_filter] = GetParam();
   ExperimentParams params;
   // Per-profile scale mirrors bench::BaseParams ratios: EBooks (long token
   // sets) and Songs (the 1M-tuple dataset) blow up wall time at a uniform
@@ -125,13 +126,16 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
   // pipeline must transparently stay synchronous at any queue depth.
   for (PipelineKind kind :
        {PipelineKind::kTerIds, PipelineKind::kConstraintEr}) {
-    auto replay = [&](int bs, int threads, int shards, int queue) {
+    auto replay = [&](int bs, int threads, int shards, int queue,
+                      int maintain, bool sigfilter) {
       std::unique_ptr<Repository> repo = experiment.BuildRepository();
       EngineConfig config = experiment.MakeConfig();
       config.batch_size = bs;
       config.refine_threads = threads;
       config.grid_shards = shards;
       config.ingest_queue_depth = queue;
+      config.maintain_shards = maintain;
+      config.signature_filter = sigfilter;
       std::unique_ptr<ErPipeline> pipeline =
           MakePipeline(kind, repo.get(), config, 2, experiment.cdds(),
                        experiment.dds(), experiment.editing_rules());
@@ -159,13 +163,18 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
       return result;
     };
 
-    const ReplayResult sequential = replay(1, 1, 1, 0);
+    // The oracle is the seed configuration: one-at-a-time, single shard,
+    // serial maintain, signature filter off (plain merges everywhere).
+    const ReplayResult sequential =
+        replay(1, 1, 1, 0, /*maintain=*/1, /*sigfilter=*/false);
     const ReplayResult batched =
-        replay(batch_size, refine_threads, grid_shards, queue_depth);
+        replay(batch_size, refine_threads, grid_shards, queue_depth,
+               maintain_shards, signature_filter);
     EXPECT_EQ(batched.emitted, sequential.emitted)
         << profile << " " << PipelineKindName(kind) << " batch=" << batch_size
         << " threads=" << refine_threads << " shards=" << grid_shards
-        << " queue=" << queue_depth;
+        << " queue=" << queue_depth << " maintain=" << maintain_shards
+        << " sigfilter=" << signature_filter;
     ASSERT_EQ(batched.final_set.size(), sequential.final_set.size());
     for (size_t i = 0; i < batched.final_set.size(); ++i) {
       EXPECT_EQ(batched.final_set[i].rid_a, sequential.final_set[i].rid_a);
@@ -256,23 +265,35 @@ std::vector<BatchCombo> BatchCombos() {
   std::vector<BatchCombo> combos;
   for (const char* profile :
        {"Citations", "Anime", "Bikes", "EBooks", "Songs"}) {
-    // The PR-2 batch x threads matrix (shards 1, synchronous)...
+    // The PR-2 batch x threads matrix (shards 1, synchronous, signature
+    // filter on — every profile exercises the signature kernel against the
+    // sigfilter-off oracle)...
     for (const auto& [batch, threads] :
          std::vector<std::pair<int, int>>{{1, 4}, {8, 1}, {8, 4}}) {
-      combos.emplace_back(profile, batch, threads, 1, 0);
+      combos.emplace_back(profile, batch, threads, 1, 0, 1, true);
     }
     // ...plus the everything-on configuration per profile: sharded grid +
-    // async ingest + parallel refinement.
-    combos.emplace_back(profile, 8, 4, 4, 2);
+    // async ingest + parallel refinement + parallel maintain + signature
+    // filter (the TSan job's main data-race surface).
+    combos.emplace_back(profile, 8, 4, 4, 2, 4, true);
   }
   // Full shards x queue x threads cross on one profile (the acceptance
   // matrix): isolates each new axis against the sequential oracle.
-  combos.emplace_back("Citations", 8, 1, 4, 0);
-  combos.emplace_back("Citations", 8, 4, 4, 0);
-  combos.emplace_back("Citations", 8, 1, 1, 2);
-  combos.emplace_back("Citations", 8, 4, 1, 2);
-  combos.emplace_back("Citations", 8, 1, 4, 2);
-  combos.emplace_back("Citations", 1, 1, 4, 2);  // async with batch 1
+  combos.emplace_back("Citations", 8, 1, 4, 0, 1, true);
+  combos.emplace_back("Citations", 8, 4, 4, 0, 1, true);
+  combos.emplace_back("Citations", 8, 1, 1, 2, 1, true);
+  combos.emplace_back("Citations", 8, 4, 1, 2, 1, true);
+  combos.emplace_back("Citations", 8, 1, 4, 2, 1, true);
+  combos.emplace_back("Citations", 1, 1, 4, 2, 1, true);  // async, batch 1
+  // Maintain-shard and signature-filter axes in isolation: parallel
+  // maintain with everything else sequential, the sig filter both ways,
+  // and parallel maintain under async ingest (maintain fan-out runs on the
+  // ingest thread there).
+  combos.emplace_back("Citations", 1, 1, 4, 0, 4, false);
+  combos.emplace_back("Citations", 1, 1, 4, 0, 4, true);
+  combos.emplace_back("Citations", 8, 4, 4, 0, 4, false);
+  combos.emplace_back("Citations", 8, 4, 4, 2, 4, false);
+  combos.emplace_back("Bikes", 8, 4, 4, 2, 4, false);
   return combos;
 }
 
@@ -286,7 +307,11 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, BatchEquivalenceSweepTest,
                                   "_s" +
                                   std::to_string(std::get<3>(info.param)) +
                                   "_q" +
-                                  std::to_string(std::get<4>(info.param));
+                                  std::to_string(std::get<4>(info.param)) +
+                                  "_m" +
+                                  std::to_string(std::get<5>(info.param)) +
+                                  (std::get<6>(info.param) ? "_sig1"
+                                                           : "_sig0");
                          });
 
 }  // namespace

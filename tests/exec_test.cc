@@ -103,33 +103,38 @@ TEST_F(RefinementExecutorTest, ParallelEqualsSequentialOnBothCascades) {
   }
 
   for (bool use_prunings : {true, false}) {
-    RefinementExecutor sequential(1);
-    RefinementExecutor parallel(4);
-    std::vector<PairEvaluation> seq_evals;
-    std::vector<PairEvaluation> par_evals;
-    sequential.Run(tasks, use_prunings, 2.0, 0.4, &seq_evals);
-    parallel.Run(tasks, use_prunings, 2.0, 0.4, &par_evals);
-    ASSERT_EQ(seq_evals.size(), tasks.size());
-    ASSERT_EQ(par_evals.size(), tasks.size());
-    PruneStats seq_stats;
-    PruneStats par_stats;
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      EXPECT_EQ(par_evals[i].outcome, seq_evals[i].outcome) << "task " << i;
-      EXPECT_DOUBLE_EQ(par_evals[i].probability, seq_evals[i].probability)
-          << "task " << i;
-      seq_stats.Record(seq_evals[i].outcome);
-      par_stats.Record(par_evals[i].outcome);
+    for (bool signature_filter : {true, false}) {
+      RefinementExecutor sequential(1);
+      RefinementExecutor parallel(4);
+      std::vector<PairEvaluation> seq_evals;
+      std::vector<PairEvaluation> par_evals;
+      sequential.Run(tasks, use_prunings, signature_filter, 2.0, 0.4,
+                     &seq_evals);
+      parallel.Run(tasks, use_prunings, signature_filter, 2.0, 0.4,
+                   &par_evals);
+      ASSERT_EQ(seq_evals.size(), tasks.size());
+      ASSERT_EQ(par_evals.size(), tasks.size());
+      PruneStats seq_stats;
+      PruneStats par_stats;
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        EXPECT_EQ(par_evals[i].outcome, seq_evals[i].outcome) << "task " << i;
+        EXPECT_DOUBLE_EQ(par_evals[i].probability, seq_evals[i].probability)
+            << "task " << i;
+        seq_stats.Record(seq_evals[i].outcome);
+        par_stats.Record(par_evals[i].outcome);
+      }
+      EXPECT_EQ(seq_stats.total_pairs, tasks.size());
+      EXPECT_EQ(par_stats.matched, seq_stats.matched);
+      EXPECT_EQ(par_stats.refined, seq_stats.refined);
     }
-    EXPECT_EQ(seq_stats.total_pairs, tasks.size());
-    EXPECT_EQ(par_stats.matched, seq_stats.matched);
-    EXPECT_EQ(par_stats.refined, seq_stats.refined);
   }
 }
 
 TEST_F(RefinementExecutorTest, EmptyTaskSetYieldsEmptyEvaluations) {
   RefinementExecutor executor(4);
   std::vector<PairEvaluation> evals(3);
-  executor.Run({}, /*use_prunings=*/true, 2.0, 0.5, &evals);
+  executor.Run({}, /*use_prunings=*/true, /*signature_filter=*/true, 2.0,
+               0.5, &evals);
   EXPECT_TRUE(evals.empty());
 }
 

@@ -1,0 +1,226 @@
+// Property tests of the flat similarity kernels (DESIGN.md §9):
+//
+// 1. The three intersection algorithms — the seed linear merge (reproduced
+//    here verbatim as the oracle), IntersectLinear, and IntersectGallop —
+//    agree exactly on randomized token sets covering empty, duplicated, and
+//    heavily skewed inputs.
+// 2. The 64-bit signature bound is sound: SigIntersectionUpperBound is
+//    always >= the exact intersection size and SigJaccardUpperBound >= the
+//    exact Jaccard similarity, so the signature filter can only skip
+//    merges, never flip a verdict.
+// 3. TokenArena views are faithful: every (instance, attribute) slot of an
+//    ImputedTuple holds exactly instance_tokens(), with the matching
+//    signature, and InstanceSimilarityExceeds equals
+//    InstanceSimilarity > gamma for both filter settings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "er/similarity.h"
+#include "text/similarity_kernels.h"
+#include "text/token_arena.h"
+#include "text/token_set.h"
+#include "tuple/imputed_tuple.h"
+#include "test_util.h"
+
+namespace terids {
+namespace {
+
+using testing_util::MakeHealthWorld;
+using testing_util::ToyWorld;
+
+/// The seed implementation of TokenSet::IntersectionSize (PR-1 .. PR-4),
+/// kept verbatim as the ground-truth oracle.
+size_t SeedIntersectionSize(const std::vector<Token>& a,
+                            const std::vector<Token>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Random (possibly empty / duplicated) token list; FromTokens handles the
+/// sort + dedup exactly as production token sets do.
+std::vector<Token> RandomTokens(std::mt19937_64* rng, size_t max_len,
+                                Token universe) {
+  std::uniform_int_distribution<size_t> len_dist(0, max_len);
+  std::uniform_int_distribution<Token> tok_dist(0, universe);
+  std::uniform_int_distribution<int> dup_dist(0, 3);
+  const size_t len = len_dist(*rng);
+  std::vector<Token> tokens;
+  tokens.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    const Token t = tok_dist(*rng);
+    tokens.push_back(t);
+    if (dup_dist(*rng) == 0) {
+      tokens.push_back(t);  // force duplicates pre-dedup
+    }
+  }
+  return tokens;
+}
+
+TEST(SimilarityKernelTest, IntersectionAlgorithmsAgreeWithSeedOracle) {
+  std::mt19937_64 rng(20210620);
+  // Size pairs stressing both regimes: balanced (linear merge) and heavily
+  // skewed (gallop), including empty sides.
+  const std::vector<std::pair<size_t, size_t>> shapes = {
+      {0, 0},  {0, 40},  {1, 1},    {8, 8},     {5, 400},
+      {3, 50}, {64, 64}, {2, 1000}, {300, 300}, {1, 2000}};
+  for (const auto& [la, lb] : shapes) {
+    for (int rep = 0; rep < 50; ++rep) {
+      // Small universe => dense overlap; large => sparse.
+      const Token universe = rep % 2 == 0 ? 64 : 100000;
+      const TokenSet a = TokenSet::FromTokens(RandomTokens(&rng, la, universe));
+      const TokenSet b = TokenSet::FromTokens(RandomTokens(&rng, lb, universe));
+      const size_t seed = SeedIntersectionSize(a.tokens(), b.tokens());
+      EXPECT_EQ(IntersectLinear(a.tokens().data(), a.size(),
+                                b.tokens().data(), b.size()),
+                seed);
+      EXPECT_EQ(IntersectGallop(a.tokens().data(), a.size(),
+                                b.tokens().data(), b.size()),
+                seed);
+      EXPECT_EQ(a.IntersectionSize(b), seed);  // the adaptive dispatch
+    }
+  }
+}
+
+TEST(SimilarityKernelTest, SignatureBoundDominatesExactIntersection) {
+  std::mt19937_64 rng(42);
+  for (int rep = 0; rep < 2000; ++rep) {
+    const Token universe = rep % 3 == 0 ? 32 : 5000;
+    const TokenSet a = TokenSet::FromTokens(RandomTokens(&rng, 120, universe));
+    const TokenSet b = TokenSet::FromTokens(RandomTokens(&rng, 120, universe));
+    const uint64_t sa = TokenSignature(a.tokens().data(), a.size());
+    const uint64_t sb = TokenSignature(b.tokens().data(), b.size());
+    const size_t exact = a.IntersectionSize(b);
+    const size_t bound = SigIntersectionUpperBound(a.size(), sa, b.size(), sb);
+    ASSERT_GE(bound, exact);
+    ASSERT_LE(bound, std::min(a.size(), b.size()));
+    ASSERT_GE(SigJaccardUpperBound(a.size(), sa, b.size(), sb),
+              JaccardSimilarity(a, b));
+  }
+  // The both-empty convention matches JaccardSimilarity.
+  EXPECT_DOUBLE_EQ(SigJaccardUpperBound(0, 0, 0, 0), 1.0);
+}
+
+TEST(SimilarityKernelTest, SignatureDetectsDisjointBitsets) {
+  // Two sets whose signatures share no bits must be provably disjoint.
+  std::vector<Token> a_toks;
+  std::vector<Token> b_toks;
+  for (Token t = 0; t < 2000; ++t) {
+    (SignatureBit(t) < 32 ? a_toks : b_toks).push_back(t);
+  }
+  const TokenSet a = TokenSet::FromTokens(a_toks);
+  const TokenSet b = TokenSet::FromTokens(b_toks);
+  const uint64_t sa = TokenSignature(a.tokens().data(), a.size());
+  const uint64_t sb = TokenSignature(b.tokens().data(), b.size());
+  EXPECT_EQ(sa & sb, 0u);
+  EXPECT_EQ(SigIntersectionUpperBound(a.size(), sa, b.size(), sb), 0u);
+  EXPECT_EQ(a.IntersectionSize(b), 0u);
+}
+
+TEST(SimilarityKernelTest, ArenaViewsMatchInstanceTokens) {
+  ToyWorld world = MakeHealthWorld();
+  // An incomplete record with an imputed diagnosis: several instances.
+  Record r = world.Make(7, {"male", "blurred vision", "-", "drug therapy"});
+  ImputedTuple::ImputedAttr ia;
+  ia.attr = 2;
+  const AttributeDomain& domain = world.repo->domain(2);
+  for (ValueId vid = 0; vid < std::min<ValueId>(3, domain.size()); ++vid) {
+    ia.candidates.push_back({vid, 0.3});
+  }
+  const ImputedTuple tuple = ImputedTuple::FromImputation(
+      r, world.repo.get(), {ia}, /*max_instances=*/4);
+  for (int m = 0; m < tuple.num_instances(); ++m) {
+    for (int k = 0; k < tuple.num_attributes(); ++k) {
+      const TokenSet& expect = tuple.instance_tokens(m, k);
+      const TokenView view = tuple.instance_token_view(m, k);
+      ASSERT_EQ(view.len, expect.size());
+      EXPECT_TRUE(std::equal(expect.tokens().begin(), expect.tokens().end(),
+                             view.data));
+      EXPECT_EQ(view.sig, TokenSignature(view.data, view.len));
+    }
+  }
+  // The cached record union is the sorted, deduplicated union of the
+  // base record's non-missing attributes.
+  std::vector<Token> expect_union;
+  for (const AttrValue& v : r.values) {
+    if (!v.missing) {
+      expect_union.insert(expect_union.end(), v.tokens.tokens().begin(),
+                          v.tokens.tokens().end());
+    }
+  }
+  const TokenSet union_set = TokenSet::FromTokens(expect_union);
+  const TokenView union_view = tuple.union_token_view();
+  ASSERT_EQ(union_view.len, union_set.size());
+  EXPECT_TRUE(std::equal(union_set.tokens().begin(), union_set.tokens().end(),
+                         union_view.data));
+}
+
+TEST(SimilarityKernelTest, ExceedsVerdictMatchesExactSimilarity) {
+  ToyWorld world = MakeHealthWorld();
+  std::mt19937_64 rng(7);
+  const std::vector<std::vector<std::string>> texts = {
+      {"male", "loss of weight", "diabetes", "drug therapy"},
+      {"male", "blurred vision", "-", "drug therapy"},
+      {"female", "fever cough", "-", "-"},
+      {"-", "red eye itchy", "conjunctivitis", "eye drop"},
+      {"male", "fever cough headache", "flu", "drink more"},
+  };
+  std::vector<ImputedTuple> tuples;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    Record r = world.Make(static_cast<int64_t>(i), texts[i]);
+    std::vector<ImputedTuple::ImputedAttr> imputed;
+    for (int j : r.MissingAttributes()) {
+      ImputedTuple::ImputedAttr ia;
+      ia.attr = j;
+      const AttributeDomain& domain = world.repo->domain(j);
+      for (ValueId vid = 0; vid < std::min<ValueId>(3, domain.size());
+           ++vid) {
+        ia.candidates.push_back({vid, 0.25});
+      }
+      imputed.push_back(std::move(ia));
+    }
+    tuples.push_back(ImputedTuple::FromImputation(r, world.repo.get(),
+                                                  std::move(imputed), 4));
+  }
+  std::uniform_real_distribution<double> gamma_dist(0.0, 4.0);
+  for (const ImputedTuple& a : tuples) {
+    for (const ImputedTuple& b : tuples) {
+      // The cached-union overload must agree exactly with the Record
+      // overload (both read the same one UnionRecordTokensInto semantics).
+      EXPECT_DOUBLE_EQ(HeterogeneousRecordSimilarity(a, b),
+                       HeterogeneousRecordSimilarity(a.base(), b.base()));
+      for (int ma = 0; ma < a.num_instances(); ++ma) {
+        for (int mb = 0; mb < b.num_instances(); ++mb) {
+          const double exact = InstanceSimilarity(a, ma, b, mb);
+          for (int rep = 0; rep < 8; ++rep) {
+            const double gamma = gamma_dist(rng);
+            const bool expect = exact > gamma;
+            EXPECT_EQ(InstanceSimilarityExceeds(a, ma, b, mb, gamma, true),
+                      expect);
+            EXPECT_EQ(InstanceSimilarityExceeds(a, ma, b, mb, gamma, false),
+                      expect);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace terids
