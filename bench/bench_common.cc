@@ -80,6 +80,7 @@ ExecKnobs EnvExecKnobs() {
   knobs.ingest_queue_depth = EnvInt("TERIDS_BENCH_QUEUE", 0, 0);
   knobs.signature_filter = EnvInt("TERIDS_BENCH_SIGFILTER", 1, 0) != 0;
   knobs.maintain_shards = EnvInt("TERIDS_BENCH_MAINTAIN", 1, 1);
+  knobs.sched_threads = EnvInt("TERIDS_BENCH_SCHED", 0, 0);
   knobs.repo_backend = EnvRepoBackend();
   return knobs;
 }
@@ -103,6 +104,7 @@ ExperimentParams BaseParams(const std::string& dataset) {
   params.ingest_queue_depth = knobs.ingest_queue_depth;
   params.signature_filter = knobs.signature_filter;
   params.maintain_shards = knobs.maintain_shards;
+  params.sched_threads = knobs.sched_threads;
   params.repo_backend = knobs.repo_backend;
   return params;
 }
@@ -200,6 +202,7 @@ JsonReporter::Row& JsonReporter::AddKnobRow(const ExecKnobs& knobs) {
       .Num("ingest_queue_depth", knobs.ingest_queue_depth)
       .Num("signature_filter", knobs.signature_filter ? 1 : 0)
       .Num("maintain_shards", knobs.maintain_shards)
+      .Num("sched_threads", knobs.sched_threads)
       .Str("repo_backend", RepoBackendName(knobs.repo_backend));
 }
 
@@ -226,12 +229,13 @@ void PrintHeader(const std::string& figure, const std::string& title,
   std::printf(
       "defaults (Table 5, scaled): alpha=%.1f rho=%.1f xi=%.1f eta=%.1f "
       "w=%d m=%d scale=%.3f arrivals=%d bench_scale=%.2f batch=%d "
-      "threads=%d shards=%d queue=%d sigfilter=%d maintain=%d repo=%s\n",
+      "threads=%d shards=%d queue=%d sigfilter=%d maintain=%d sched=%d "
+      "repo=%s\n",
       params.alpha, params.rho, params.xi, params.eta, params.w, params.m,
       params.scale, params.max_arrivals, EnvScale(), params.batch_size,
       params.refine_threads, params.grid_shards, params.ingest_queue_depth,
       params.signature_filter ? 1 : 0, params.maintain_shards,
-      RepoBackendName(params.repo_backend));
+      params.sched_threads, RepoBackendName(params.repo_backend));
 }
 
 namespace {

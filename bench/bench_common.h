@@ -31,12 +31,15 @@ int EnvInt(const char* name, int fallback, int min_value);
 /// (defaults 1/1/1/0 = the classic one-at-a-time synchronous operator)
 /// plus TERIDS_BENCH_SIGFILTER (0|1, default 1 = signature-bounded Jaccard
 /// kernel on), TERIDS_BENCH_MAINTAIN (maintain_shards, default 1 = serial
-/// grid maintenance) and the repository storage backend from
+/// grid maintenance), TERIDS_BENCH_SCHED (sched_threads, default 0 =
+/// legacy per-subsystem pools; >= 1 = the unified scheduler's worker
+/// count) and the repository storage backend from
 /// TERIDS_BENCH_REPO_BACKEND ("memory" | "mmap", default memory). Every
 /// bench that replays arrivals through Experiment::Run inherits them via
 /// BaseParams, so any figure can be reproduced under micro-batching,
 /// parallel refinement, grid sharding, async ingest, the signature filter,
-/// parallel maintain, and either storage backend without code changes.
+/// parallel maintain, the unified scheduler, and either storage backend
+/// without code changes.
 struct ExecKnobs {
   int batch_size = 1;
   int refine_threads = 1;
@@ -44,6 +47,7 @@ struct ExecKnobs {
   int ingest_queue_depth = 0;
   bool signature_filter = true;
   int maintain_shards = 1;
+  int sched_threads = 0;
   RepoBackend repo_backend = RepoBackend::kInMemory;
 };
 ExecKnobs EnvExecKnobs();

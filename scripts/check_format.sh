@@ -21,3 +21,39 @@ fi
 find src tests bench examples \
   \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
   xargs -0 "$clang_format" "${mode[@]}"
+
+# ---------------------------------------------------------------------------
+# Docs consistency: README.md's execution-knob table is the canonical list
+# of runtime knobs. Fail if an EngineConfig field or a TERIDS_BENCH_* env
+# var exists in the code but is missing from the README, so the table can't
+# silently rot when a knob is added.
+# ---------------------------------------------------------------------------
+docs_ok=1
+
+# EngineConfig field names: lines like "  int sched_threads = 0;" inside
+# struct EngineConfig of src/core/config.h.
+config_knobs=$(awk '/^struct EngineConfig/,/^};/' src/core/config.h |
+  grep -oE '^  [A-Za-z_:<>]+( [A-Za-z_:<>]+)* [a-z_]+ *[=;]' |
+  grep -oE '[a-z_]+ *[=;]$' | grep -oE '^[a-z_]+')
+
+for knob in $config_knobs; do
+  if ! grep -q "\`$knob\`" README.md; then
+    echo "error: EngineConfig knob '$knob' is missing from README.md" >&2
+    docs_ok=0
+  fi
+done
+
+# Every TERIDS_BENCH_* environment variable referenced by the bench harness.
+bench_vars=$(grep -rhoE 'TERIDS_BENCH_[A-Z_]+' bench | grep -v '_H_$' | sort -u)
+
+for var in $bench_vars; do
+  if ! grep -q "$var" README.md; then
+    echo "error: bench env var '$var' is missing from README.md" >&2
+    docs_ok=0
+  fi
+done
+
+if [[ $docs_ok -ne 1 ]]; then
+  echo "error: README.md execution-knob table is out of date (see above)" >&2
+  exit 1
+fi

@@ -73,6 +73,16 @@ struct EngineConfig {
   /// touches, at most grid_shards). Shards share no state, so every
   /// setting produces identical grid contents and results.
   int maintain_shards = 1;
+  /// Worker count of the unified phase-tagged Scheduler (DESIGN.md §10).
+  /// 0 = legacy per-subsystem execution: the refinement ThreadPool, the
+  /// ER-grid's probe/maintain pool, and the dedicated SPSC ingest thread,
+  /// exactly as configured by the knobs above (seed behavior, the
+  /// equivalence oracle). >= 1 = all four phases (ingest, candidate,
+  /// refine, maintain) dispatch onto one shared pool of this many workers;
+  /// the phase knobs above still gate *whether* each phase fans out, this
+  /// knob sets the shared worker budget. Every setting produces identical
+  /// matches, MatchSet, and PruneStats (the equivalence sweep enforces it).
+  int sched_threads = 0;
   /// Enables the batch-scoped CDD-selection memoization probe
   /// (CostBreakdown::cdd_memo_*). Off by default: the PR-3 measurement
   /// found a near-zero hit rate on every profile, so the hot loop no

@@ -1,6 +1,8 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -42,13 +44,18 @@ PipelineBase::PipelineBase(Repository* repo, EngineConfig config,
   TERIDS_CHECK(config_.grid_shards >= 1);
   TERIDS_CHECK(config_.ingest_queue_depth >= 0);
   TERIDS_CHECK(config_.maintain_shards >= 1);
+  TERIDS_CHECK(config_.sched_threads >= 0);
+  if (config_.sched_threads >= 1) {
+    sched_ = std::make_unique<Scheduler>(config_.sched_threads);
+  }
   windows_.reserve(num_streams);
   for (int i = 0; i < num_streams; ++i) {
     windows_.emplace_back(config_.window_size);
   }
   if (use_grid) {
-    grid_ = std::make_unique<ShardedErGrid>(
-        repo->num_attributes(), config_.cell_width, config_.grid_shards);
+    grid_ = std::make_unique<ShardedErGrid>(repo->num_attributes(),
+                                            config_.cell_width,
+                                            config_.grid_shards, sched_.get());
   }
 }
 
@@ -82,7 +89,14 @@ std::vector<const WindowTuple*> PipelineBase::LinearCandidates(
 
 RefinementExecutor* PipelineBase::refiner() {
   if (refiner_ == nullptr) {
-    refiner_ = std::make_unique<RefinementExecutor>(config_.refine_threads);
+    if (sched_ != nullptr && config_.refine_threads > 1) {
+      // Unified mode: refinement fans out as kRefine work items on the
+      // shared workers. refine_threads still gates *whether* the phase fans
+      // out; the width is the scheduler's.
+      refiner_ = std::make_unique<RefinementExecutor>(sched_.get());
+    } else {
+      refiner_ = std::make_unique<RefinementExecutor>(config_.refine_threads);
+    }
   }
   return refiner_.get();
 }
@@ -178,6 +192,7 @@ void PipelineBase::RefinePhase(ArrivalContext* ctx) {
 
 void PipelineBase::MaintainPhase(ArrivalContext* ctx,
                                  bool defer_result_eviction) {
+  ScopedTimer timer(&ctx->out.cost.maintain_seconds);
   // The window push decides the eviction first so the arrival's grid
   // insert and the expired tuple's grid removal can run as one fan-out
   // (per-shard tasks on the grid pool when maintain_shards > 1); insert
@@ -308,9 +323,21 @@ std::vector<ArrivalOutcome> PipelineBase::ProcessBatch(
   return outcomes;
 }
 
+void PipelineBase::RecordArrivalLatency(const CostBreakdown& cost,
+                                        double e2e_seconds) {
+  latency_.of(ExecPhase::kIngest)
+      .Record(cost.cdd_select_seconds + cost.impute_seconds);
+  latency_.of(ExecPhase::kCandidate).Record(cost.candidate_seconds);
+  latency_.of(ExecPhase::kRefine).Record(cost.refine_seconds);
+  latency_.of(ExecPhase::kMaintain).Record(cost.maintain_seconds);
+  latency_.end_to_end.Record(e2e_seconds);
+}
+
 size_t PipelineBase::ProcessStream(StreamDriver* driver, size_t max_arrivals,
                                    size_t batch_size,
                                    const OutcomeSink& sink) {
+  TERIDS_CHECK(driver != nullptr);
+  TERIDS_CHECK(batch_size >= 1);
   // An imputer that writes state refinement reads (the constraint-based
   // baseline registers stream values into repository domains) must not
   // overlap the two stages; its pipeline stays synchronous at any depth.
@@ -318,12 +345,30 @@ size_t PipelineBase::ProcessStream(StreamDriver* driver, size_t max_arrivals,
       imputer_ == nullptr || !imputer_->MutatesRefinementState();
   if (config_.ingest_queue_depth <= 0 || !async_safe) {
     // Fully synchronous: the default alternating loop, bit-identical to the
-    // pre-async operator (including the one-at-a-time path for batch 1).
-    return ErPipeline::ProcessStream(driver, max_arrivals, batch_size, sink);
+    // pre-async operator (including the one-at-a-time path for batch 1),
+    // with per-arrival latency stamped at emission.
+    size_t processed = 0;
+    while (processed < max_arrivals && driver->HasNext()) {
+      const std::vector<Record> batch =
+          driver->NextBatch(std::min(batch_size, max_arrivals - processed));
+      Stopwatch admit;
+      for (ArrivalOutcome& outcome : ProcessBatch(batch)) {
+        RecordArrivalLatency(outcome.cost, admit.ElapsedSeconds());
+        sink(std::move(outcome));
+        ++processed;
+      }
+    }
+    return processed;
   }
-  TERIDS_CHECK(driver != nullptr);
-  TERIDS_CHECK(batch_size >= 1);
+  return sched_ != nullptr
+             ? ProcessStreamScheduled(driver, max_arrivals, batch_size, sink)
+             : ProcessStreamThreaded(driver, max_arrivals, batch_size, sink);
+}
 
+size_t PipelineBase::ProcessStreamThreaded(StreamDriver* driver,
+                                           size_t max_arrivals,
+                                           size_t batch_size,
+                                           const OutcomeSink& sink) {
   // Two-stage pipeline over a bounded SPSC handoff. Stage ownership while
   // the ingest thread runs: windows_/grid_/imputer_/driver belong to the
   // ingest thread, matches_/cum_stats_/refiner belong to this thread; the
@@ -342,6 +387,7 @@ size_t PipelineBase::ProcessStream(StreamDriver* driver, size_t max_arrivals,
       }
       ingested += batch.size();
       IngestedBatch ib;
+      ib.admit.Restart();
       {
         ScopedTimer timer(&ib.ingest_wall);
         IngestBatch(batch, &ib.ctxs);
@@ -378,6 +424,7 @@ size_t PipelineBase::ProcessStream(StreamDriver* driver, size_t max_arrivals,
         // refinement starved for ingest.
         ctx.out.cost.batch_seconds += (ib.ingest_wall + refine_wall) / n;
         ctx.out.cost.queue_wait_seconds += wait_wall / n;
+        RecordArrivalLatency(ctx.out.cost, ib.admit.ElapsedSeconds());
         sink(std::move(ctx.out));
         ++processed;
       }
@@ -392,6 +439,103 @@ size_t PipelineBase::ProcessStream(StreamDriver* driver, size_t max_arrivals,
     throw;
   }
   ingest.join();
+  return processed;
+}
+
+size_t PipelineBase::ProcessStreamScheduled(StreamDriver* driver,
+                                            size_t max_arrivals,
+                                            size_t batch_size,
+                                            const OutcomeSink& sink) {
+  // Same two-stage split and ownership discipline as the threaded path,
+  // but the ingest stage runs as a chain of self-resubmitting kIngest work
+  // items on the shared scheduler (DESIGN.md §10) instead of owning a
+  // thread: each item ingests one batch, pushes it through the bounded
+  // handoff, and submits the next link. At most one link exists at a time,
+  // so driver/windows_/grid_/imputer_ keep a single logical owner (the
+  // scheduler's queue mutex orders consecutive links); the handoff queue's
+  // mutex orders ingest against replay exactly as before. The chain link is
+  // the only scheduler work item that may block (in Push), and the thread
+  // it waits on — this consumer — makes progress without free workers
+  // because its own fan-outs self-drain.
+  BatchQueue<IngestedBatch> queue(
+      static_cast<size_t>(config_.ingest_queue_depth));
+  std::mutex chain_mu;
+  std::condition_variable chain_cv;
+  bool chain_done = false;
+  size_t ingested = 0;
+  const auto finish_chain = [&] {
+    std::lock_guard<std::mutex> lock(chain_mu);
+    chain_done = true;
+    chain_cv.notify_all();
+  };
+  std::function<void()> link;
+  link = [&] {
+    if (ingested >= max_arrivals || !driver->HasNext()) {
+      queue.Close();
+      finish_chain();
+      return;
+    }
+    const std::vector<Record> batch =
+        driver->NextBatch(std::min(batch_size, max_arrivals - ingested));
+    if (batch.empty()) {
+      queue.Close();
+      finish_chain();
+      return;
+    }
+    ingested += batch.size();
+    IngestedBatch ib;
+    ib.admit.Restart();
+    {
+      ScopedTimer timer(&ib.ingest_wall);
+      IngestBatch(batch, &ib.ctxs);
+    }
+    if (!queue.Push(std::move(ib))) {
+      finish_chain();  // Consumer cancelled (threw); stop the chain.
+      return;
+    }
+    sched_->Submit(ExecPhase::kIngest, link);
+  };
+  sched_->Submit(ExecPhase::kIngest, link);
+
+  size_t processed = 0;
+  IngestedBatch ib;
+  try {
+    while (true) {
+      double wait_wall = 0.0;
+      bool popped;
+      {
+        ScopedTimer timer(&wait_wall);
+        popped = queue.Pop(&ib);
+      }
+      if (!popped) {
+        break;
+      }
+      double refine_wall = 0.0;
+      {
+        ScopedTimer timer(&refine_wall);
+        RefineAndReplay(&ib.ctxs);
+      }
+      const double n = static_cast<double>(ib.ctxs.size());
+      for (ArrivalContext& ctx : ib.ctxs) {
+        ctx.out.cost.batch_seconds += (ib.ingest_wall + refine_wall) / n;
+        ctx.out.cost.queue_wait_seconds += wait_wall / n;
+        RecordArrivalLatency(ctx.out.cost, ib.admit.ElapsedSeconds());
+        sink(std::move(ctx.out));
+        ++processed;
+      }
+    }
+  } catch (...) {
+    // `queue`, `link`, and the chain flags live on this frame, so no chain
+    // link may outlive it: cancel the handoff (a blocked or later Push
+    // returns false, ending the chain within one link) and wait for the
+    // final link to retire before unwinding.
+    queue.Cancel();
+    std::unique_lock<std::mutex> lock(chain_mu);
+    chain_cv.wait(lock, [&] { return chain_done; });
+    throw;
+  }
+  std::unique_lock<std::mutex> lock(chain_mu);
+  chain_cv.wait(lock, [&] { return chain_done; });
   return processed;
 }
 

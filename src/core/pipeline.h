@@ -12,7 +12,9 @@
 #include "er/pruning.h"
 #include "er/topic.h"
 #include "eval/cost_breakdown.h"
+#include "eval/latency_histogram.h"
 #include "exec/refinement_executor.h"
+#include "exec/scheduler.h"
 #include "imputation/imputer.h"
 #include "index/dr_index.h"
 #include "repo/repository.h"
@@ -21,6 +23,7 @@
 #include "stream/stream_driver.h"
 #include "synopsis/sharded_er_grid.h"
 #include "tuple/record.h"
+#include "util/stopwatch.h"
 
 namespace terids {
 
@@ -64,6 +67,15 @@ class ErPipeline {
 
   virtual const MatchSet& results() const = 0;
   virtual const PruneStats& cumulative_stats() const = 0;
+
+  /// Per-arrival latency histograms (phase + end-to-end) accumulated by
+  /// ProcessStream, or null for pipelines that do not account latency.
+  /// Read-only; single-threaded access once the stream has completed.
+  virtual const LatencyStats* arrival_latencies() const { return nullptr; }
+  /// Drains the unified scheduler (if this pipeline runs one) and returns
+  /// its per-work-item service-time histograms, clearing them. Empty stats
+  /// for pipelines without a scheduler. Call only at stream quiescence.
+  virtual LatencyStats ConsumeSchedulerLatencies() { return LatencyStats(); }
 };
 
 /// Shared implementation: sliding windows, optional ER-grid, result-set
@@ -114,6 +126,10 @@ class PipelineBase : public ErPipeline {
                        size_t batch_size, const OutcomeSink& sink) override;
   const MatchSet& results() const override { return matches_; }
   const PruneStats& cumulative_stats() const override { return cum_stats_; }
+  const LatencyStats* arrival_latencies() const override { return &latency_; }
+  LatencyStats ConsumeSchedulerLatencies() override {
+    return sched_ != nullptr ? sched_->ConsumeLatencies() : LatencyStats();
+  }
 
   /// Live tuples of one stream's window (inspection / tests).
   const SlidingWindow& window(int stream_id) const;
@@ -153,6 +169,10 @@ class PipelineBase : public ErPipeline {
 
   Repository* repo_;
   EngineConfig config_;
+  /// Unified scheduler (EngineConfig::sched_threads >= 1); null in legacy
+  /// per-pool mode. Declared before every member whose methods dispatch
+  /// onto it so it is destroyed last (after draining all pending work).
+  std::unique_ptr<Scheduler> sched_;
   TopicQuery topic_;
   std::vector<SlidingWindow> windows_;
   std::unique_ptr<ShardedErGrid> grid_;
@@ -165,10 +185,13 @@ class PipelineBase : public ErPipeline {
  private:
   /// One micro-batch after the ingest stage: per-arrival contexts with
   /// impute/candidates/maintain done and refinement pending, plus the
-  /// ingest-stage wall time (charged into batch_seconds at replay).
+  /// ingest-stage wall time (charged into batch_seconds at replay) and the
+  /// admission stopwatch started when the batch left the driver (the
+  /// end-to-end latency origin for each of its arrivals).
   struct IngestedBatch {
     std::vector<ArrivalContext> ctxs;
     double ingest_wall = 0.0;
+    Stopwatch admit;
   };
 
   std::vector<const WindowTuple*> LinearCandidates(const WindowTuple& probe,
@@ -189,10 +212,26 @@ class PipelineBase : public ErPipeline {
   /// and cum_stats_ only — under async ingest it runs on the calling
   /// thread, concurrently with the next batch's ingest.
   void RefineAndReplay(std::vector<ArrivalContext>* ctxs);
-  /// Lazily constructed parallel refiner (config_.refine_threads workers).
+  /// Lazily constructed parallel refiner: a private pool of
+  /// config_.refine_threads workers in legacy mode, a scheduler-dispatching
+  /// executor in unified mode (still inline when refine_threads <= 1).
   RefinementExecutor* refiner();
+  /// Folds one emitted arrival into the per-arrival latency histograms:
+  /// phase latencies from the outcome's cost fields, end-to-end from
+  /// `e2e_seconds` (batch admission to emission). Caller-thread only.
+  void RecordArrivalLatency(const CostBreakdown& cost, double e2e_seconds);
+  /// The two pipelined ProcessStream bodies behind the dispatch in
+  /// ProcessStream: the legacy dedicated ingest thread and the unified
+  /// scheduler's self-resubmitting kIngest chain (DESIGN.md §7, §10).
+  size_t ProcessStreamThreaded(StreamDriver* driver, size_t max_arrivals,
+                               size_t batch_size, const OutcomeSink& sink);
+  size_t ProcessStreamScheduled(StreamDriver* driver, size_t max_arrivals,
+                                size_t batch_size, const OutcomeSink& sink);
 
   std::unique_ptr<RefinementExecutor> refiner_;
+  /// Per-arrival latency accounting, updated at emission on the consumer
+  /// (calling) thread only.
+  LatencyStats latency_;
 };
 
 /// Constructs one of the six evaluated pipelines. The rule vectors are

@@ -13,6 +13,7 @@ CostBreakdown CostBreakdown::Scaled(double factor) const {
   out.batch_seconds = batch_seconds * factor;
   out.candidate_seconds = candidate_seconds * factor;
   out.queue_wait_seconds = queue_wait_seconds * factor;
+  out.maintain_seconds = maintain_seconds * factor;
   out.cdd_memo_queries = cdd_memo_queries * factor;
   out.cdd_memo_repeats = cdd_memo_repeats * factor;
   return out;
@@ -38,18 +39,19 @@ CostBreakdown::Shares CostBreakdown::PhaseShares() const {
 }
 
 std::string CostBreakdown::ToJson() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "{\"cdd_select_seconds\":%.9g,\"impute_seconds\":%.9g,"
                 "\"er_seconds\":%.9g,\"refine_seconds\":%.9g,"
                 "\"batch_seconds\":%.9g,\"candidate_seconds\":%.9g,"
-                "\"queue_wait_seconds\":%.9g,\"cdd_memo_queries\":%.9g,"
+                "\"queue_wait_seconds\":%.9g,\"maintain_seconds\":%.9g,"
+                "\"cdd_memo_queries\":%.9g,"
                 "\"cdd_memo_repeats\":%.9g,\"cdd_memo_hit_rate\":%.9g,"
                 "\"total_seconds\":%.9g}",
                 cdd_select_seconds, impute_seconds, er_seconds,
                 refine_seconds, batch_seconds, candidate_seconds,
-                queue_wait_seconds, cdd_memo_queries, cdd_memo_repeats,
-                cdd_memo_hit_rate(), total_seconds());
+                queue_wait_seconds, maintain_seconds, cdd_memo_queries,
+                cdd_memo_repeats, cdd_memo_hit_rate(), total_seconds());
   return std::string(buf);
 }
 

@@ -28,6 +28,10 @@ struct CostBreakdown {
   /// for the next ingested batch (async mode only; spread evenly across the
   /// batch's arrivals). Zero wait = ingest keeps up = the overlap is real.
   double queue_wait_seconds = 0.0;
+  /// Window/grid maintenance wall time (window push, grid insert/remove
+  /// fan-out, eviction cascade). Not contained in `er_seconds`; overlay
+  /// metric feeding the per-arrival kMaintain latency histogram.
+  double maintain_seconds = 0.0;
   /// CDD-selection memoization probe (ROADMAP: measure before building the
   /// cache): determinant-signature lookups per (arrival, missing attribute)
   /// and how many of them repeated a signature already seen in the same
@@ -54,6 +58,7 @@ struct CostBreakdown {
     batch_seconds += other.batch_seconds;
     candidate_seconds += other.candidate_seconds;
     queue_wait_seconds += other.queue_wait_seconds;
+    maintain_seconds += other.maintain_seconds;
     cdd_memo_queries += other.cdd_memo_queries;
     cdd_memo_repeats += other.cdd_memo_repeats;
   }

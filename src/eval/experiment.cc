@@ -166,6 +166,7 @@ EngineConfig Experiment::MakeConfig() const {
   config.ingest_queue_depth = params_.ingest_queue_depth;
   config.signature_filter = params_.signature_filter;
   config.maintain_shards = params_.maintain_shards;
+  config.sched_threads = params_.sched_threads;
   config.repo_backend = params_.repo_backend;
   return config;
 }
@@ -222,6 +223,10 @@ PipelineRun Experiment::Run(PipelineKind kind, const EngineConfig& config) {
   run.stats = pipeline->cumulative_stats();
   run.accuracy = ComputeFScore(all_matches, effective_truth_);
   run.final_result_size = pipeline->results().size();
+  if (const LatencyStats* latencies = pipeline->arrival_latencies()) {
+    run.arrival_latency = *latencies;
+  }
+  run.sched_item_latency = pipeline->ConsumeSchedulerLatencies();
   return run;
 }
 

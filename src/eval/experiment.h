@@ -45,6 +45,10 @@ struct ExperimentParams {
   /// MaintainPhase grid fan-out (> 1 = per-shard insert/remove on the grid
   /// pool; identical output for every setting).
   int maintain_shards = 1;
+  /// Unified scheduler worker count (0 = legacy per-subsystem pools, the
+  /// seed execution model; >= 1 = all phases share one worker pool). Every
+  /// setting produces identical results (DESIGN.md §10).
+  int sched_threads = 0;
   /// Repository storage backend each Run()'s fresh repository uses. With
   /// kMmapSnapshot, BuildRepository serializes the in-memory build into a
   /// temporary snapshot file and reopens it via mmap — results are
@@ -62,6 +66,13 @@ struct PipelineRun {
   PruneStats stats;
   PrecisionRecall accuracy;
   size_t final_result_size = 0;
+  /// Per-arrival latency histograms (phase + end-to-end) the pipeline's
+  /// ProcessStream recorded at each emission; empty for pipelines that do
+  /// not account latency.
+  LatencyStats arrival_latency;
+  /// Per-work-item service-time histograms from the unified scheduler
+  /// (sched_threads >= 1); empty in legacy mode.
+  LatencyStats sched_item_latency;
 };
 
 /// Builds one dataset + repository + rules under fixed parameters and runs

@@ -3,11 +3,17 @@
 #include <algorithm>
 
 #include "er/probability.h"
+#include "util/status.h"
 
 namespace terids {
 
 RefinementExecutor::RefinementExecutor(int num_threads)
-    : pool_(num_threads) {}
+    : pool_(std::make_unique<ThreadPool>(num_threads)) {}
+
+RefinementExecutor::RefinementExecutor(Scheduler* scheduler)
+    : scheduler_(scheduler) {
+  TERIDS_CHECK(scheduler != nullptr);
+}
 
 RefinementExecutor::~RefinementExecutor() = default;
 
@@ -40,7 +46,7 @@ void RefinementExecutor::Run(const std::vector<Task>& tasks,
   if (n == 0) {
     return;
   }
-  if (pool_.concurrency() == 1) {
+  if (num_threads() == 1) {
     for (int64_t i = 0; i < n; ++i) {
       (*evaluations)[i] =
           Evaluate(tasks[i], use_prunings, signature_filter, gamma, alpha);
@@ -50,16 +56,21 @@ void RefinementExecutor::Run(const std::vector<Task>& tasks,
   // Contiguous shards, several per worker so an expensive stretch of pairs
   // (deep instance cross products) does not serialize the whole batch.
   const int64_t shard_size = std::max<int64_t>(
-      1, n / (static_cast<int64_t>(pool_.concurrency()) * 4));
+      1, n / (static_cast<int64_t>(num_threads()) * 4));
   const int64_t num_shards = (n + shard_size - 1) / shard_size;
-  pool_.ParallelFor(num_shards, [&](int64_t shard) {
+  const auto run_shard = [&](int64_t shard) {
     const int64_t begin = shard * shard_size;
     const int64_t end = std::min(n, begin + shard_size);
     for (int64_t i = begin; i < end; ++i) {
       (*evaluations)[i] =
           Evaluate(tasks[i], use_prunings, signature_filter, gamma, alpha);
     }
-  });
+  };
+  if (scheduler_ != nullptr) {
+    scheduler_->ParallelFor(ExecPhase::kRefine, num_shards, run_shard);
+  } else {
+    pool_->ParallelFor(num_shards, run_shard);
+  }
 }
 
 }  // namespace terids

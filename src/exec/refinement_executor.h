@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "er/pruning.h"
+#include "exec/scheduler.h"
 #include "exec/thread_pool.h"
 #include "stream/sliding_window.h"
 
@@ -31,8 +32,12 @@ class RefinementExecutor {
     const WindowTuple* candidate = nullptr;
   };
 
+  /// Legacy mode: a private ThreadPool of `num_threads` workers;
   /// `num_threads` <= 1 evaluates inline on the caller (no pool).
   explicit RefinementExecutor(int num_threads);
+  /// Unified mode: no private pool — Run fans out as kRefine work items on
+  /// `scheduler` (not owned, must outlive the executor; DESIGN.md §10).
+  explicit RefinementExecutor(Scheduler* scheduler);
   ~RefinementExecutor();
 
   /// Evaluates a single pair — the unit of work every worker runs, also
@@ -43,7 +48,11 @@ class RefinementExecutor {
                                  bool signature_filter, double gamma,
                                  double alpha);
 
-  int num_threads() const { return pool_.concurrency(); }
+  /// Fan-out width Run shards tasks for: the private pool's concurrency in
+  /// legacy mode, the shared scheduler's (workers + caller) in unified mode.
+  int num_threads() const {
+    return pool_ != nullptr ? pool_->concurrency() : scheduler_->concurrency();
+  }
 
   /// Evaluates every task. With `use_prunings` the full cascade runs
   /// (EvaluatePair); without it the exact probability is always computed,
@@ -54,7 +63,9 @@ class RefinementExecutor {
            std::vector<PairEvaluation>* evaluations);
 
  private:
-  ThreadPool pool_;
+  // Exactly one of the two is set (legacy pool vs. shared scheduler).
+  std::unique_ptr<ThreadPool> pool_;
+  Scheduler* scheduler_ = nullptr;
 };
 
 }  // namespace terids

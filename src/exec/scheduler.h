@@ -1,0 +1,154 @@
+#ifndef TERIDS_EXEC_SCHEDULER_H_
+#define TERIDS_EXEC_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "eval/latency_histogram.h"
+
+namespace terids {
+
+/// The unified execution scheduler (DESIGN.md §10): one fixed worker pool
+/// serving every parallel phase of the arrival pipeline — ER-grid probe
+/// fan-out (kCandidate), pair refinement (kRefine), sharded window/grid
+/// maintenance (kMaintain), and the chained ingest stage of async
+/// ProcessStream (kIngest) — through one multi-producer submission queue,
+/// replacing the per-subsystem ThreadPools and the dedicated SPSC ingest
+/// thread of the §6–§9 execution model.
+///
+/// Thread-safety: every public method is safe to call concurrently from any
+/// thread. Each ParallelFor is an independent job with its own completion
+/// barrier, so fan-outs from different threads (e.g. the ingest chain's
+/// candidate probe and the caller's refinement) interleave freely on the
+/// shared workers — the restriction that forced per-subsystem pools
+/// (ThreadPool serves one ParallelFor at a time) is gone.
+///
+/// Blocking discipline: a ParallelFor caller first drains every unclaimed
+/// task of its own job inline, then waits only for tasks already claimed by
+/// workers. A job therefore completes even when every worker is busy or
+/// blocked elsewhere, which makes nested fan-outs (a kIngest item running a
+/// kMaintain fan-out) and a bounded-queue handoff inside a work item
+/// deadlock-free: at most the ingest chain's single in-flight item ever
+/// blocks, and the thread it waits on (the stream consumer) never needs a
+/// free worker to make progress.
+///
+/// Determinism: which worker runs which task is nondeterministic; callers
+/// needing deterministic output must write into per-task slots exactly as
+/// with ThreadPool (RefinementExecutor, ShardedErGrid do).
+class Scheduler {
+ public:
+  /// Spawns `num_workers` >= 1 persistent workers. (A zero-worker scheduler
+  /// is meaningless — EngineConfig::sched_threads == 0 selects the legacy
+  /// per-subsystem pools instead of constructing a Scheduler at all.)
+  explicit Scheduler(int num_workers);
+  /// Drains every pending and in-flight work item (nothing submitted is
+  /// ever lost), then joins the workers. Callers must not submit
+  /// concurrently with destruction.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int num_workers() const { return num_workers_; }
+  /// Parallelism a fork-join fan-out can reach: the workers plus the
+  /// participating caller.
+  int concurrency() const { return num_workers_ + 1; }
+
+  /// Fork-join: runs fn(i) for every i in [0, num_tasks) on the workers and
+  /// the calling thread, returning when all calls finished (the per-job
+  /// completion barrier). Safe to call concurrently from multiple threads
+  /// and to nest inside a work item. If fn throws on the calling thread,
+  /// remaining unclaimed tasks are cancelled, in-flight tasks are awaited,
+  /// and the exception is rethrown; fn must not throw on a worker (as with
+  /// ThreadPool, that would terminate).
+  void ParallelFor(ExecPhase phase, int64_t num_tasks,
+                   const std::function<void(int64_t)>& fn);
+
+  /// Fire-and-forget: enqueues one work item for any worker to run. Items
+  /// submitted from the same thread run in submission order relative to
+  /// each other only if a chain resubmits from inside the item (the ingest
+  /// pattern); unrelated items may interleave. `fn` must not throw.
+  void Submit(ExecPhase phase, std::function<void()> fn);
+
+  /// Blocks until every submitted work item (fork-join and detached) has
+  /// finished and the queue is empty. Concurrent submitters can starve the
+  /// drain; the intended use is quiescing between streams.
+  void Drain();
+
+  /// Drains, then merges and clears every worker's latency ring: per-phase
+  /// histograms of work-item service times (queue wait excluded), including
+  /// tasks executed inline by ParallelFor callers. The `end_to_end`
+  /// histogram is left empty — arrival latency is the pipeline's to
+  /// measure.
+  LatencyStats ConsumeLatencies();
+
+ private:
+  /// One submitted unit: either a fork-join job of `total` indexed tasks or
+  /// a detached single item (total == 1, `single` set). Lifetime is managed
+  /// by shared_ptr: the queue and every claiming worker hold references, so
+  /// a detached job dies with its last task and a fork-join job lives on
+  /// the caller's stack frame past the barrier.
+  struct Job {
+    ExecPhase phase = ExecPhase::kIngest;
+    const std::function<void(int64_t)>* fn = nullptr;
+    std::function<void()> single;
+    int64_t next = 0;      // first unclaimed task index
+    int64_t total = 0;     // one past the last task index
+    int64_t finished = 0;  // tasks completed (== claims, eventually)
+    bool IsDone() const { return next >= total && finished >= next; }
+  };
+
+  /// Per-worker single-writer sample ring. The worker appends (phase,
+  /// nanos) pairs lock-free; when the ring fills it folds into the
+  /// worker-local histogram set. ConsumeLatencies reads both only after
+  /// Drain, whose queue mutex provides the happens-before edge.
+  struct LatencyRing {
+    static constexpr size_t kCapacity = 1024;
+    struct Sample {
+      ExecPhase phase;
+      uint64_t nanos;
+    };
+    std::vector<Sample> samples;
+    LatencyStats folded;
+
+    void Record(ExecPhase phase, uint64_t nanos);
+    void FoldInto(LatencyStats* out);
+  };
+
+  void WorkerLoop(int worker_index);
+  /// Claims the front job's next task under `mu_` (popping the job once
+  /// fully claimed); returns false when the queue is empty.
+  bool ClaimTask(std::shared_ptr<Job>* job, int64_t* task);
+  /// Runs one claimed task, records its service time into `ring`, and
+  /// settles the job's completion under `mu_`.
+  void RunTask(const std::shared_ptr<Job>& job, int64_t task,
+               LatencyRing* ring);
+  void Enqueue(std::shared_ptr<Job> job);
+
+  const int num_workers_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;  // queue became non-empty / shutdown
+  std::condition_variable job_done_;    // some job finished a task batch
+  std::deque<std::shared_ptr<Job>> queue_;
+  int64_t in_flight_ = 0;  // claimed-but-unfinished tasks, all jobs
+  bool shutdown_ = false;
+
+  // Ring 0..num_workers-1 belong to the workers (single-writer, lock-free);
+  // the last ring is shared by every external ParallelFor caller and
+  // guarded by `ext_mu_` (caller participation is rare enough that one
+  // mutex beats per-thread registration).
+  std::vector<LatencyRing> rings_;
+  std::mutex ext_mu_;
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_EXEC_SCHEDULER_H_

@@ -12,6 +12,13 @@ namespace terids {
 
 /// A fixed-size, work-stealing-free thread pool for fork/join parallelism.
 ///
+/// This is the legacy-mode executor (EngineConfig::sched_threads == 0):
+/// each parallel subsystem — RefinementExecutor, ShardedErGrid — owns a
+/// private pool, because one ThreadPool serves exactly one ParallelFor at a
+/// time. With sched_threads >= 1 those subsystems dispatch onto the shared
+/// phase-tagged Scheduler (exec/scheduler.h, DESIGN.md §10) instead, and no
+/// pool is constructed.
+///
 /// `ThreadPool(n)` provides a concurrency level of n: n - 1 persistent
 /// worker threads plus the calling thread, which participates in every
 /// ParallelFor instead of blocking idle. A pool of size <= 1 spawns no

@@ -10,17 +10,25 @@
 
 namespace terids {
 
-/// A bounded single-producer / single-consumer handoff queue for the async
-/// ingest pipeline (DESIGN.md §7): the ingest thread pushes ingested
-/// micro-batches, the refine thread pops them in FIFO order, and the bound
-/// caps how far ingest may run ahead of refinement.
+/// A bounded multi-producer / single-consumer handoff queue for the async
+/// ingest pipeline (DESIGN.md §7, §10): ingested micro-batches are pushed
+/// in FIFO order — by the dedicated ingest thread in legacy mode
+/// (sched_threads = 0), or by whichever scheduler worker runs the current
+/// kIngest chain link in scheduler mode, where successive pushes come from
+/// different threads — the refine (consumer) thread pops them, and the
+/// bound caps how far ingest may run ahead of refinement. Any number of
+/// threads may Push concurrently; Pop is single-consumer. Close is a
+/// producer-side signal, Cancel a consumer-side one; both are safe from any
+/// thread.
 ///
 /// Blocking mutex + condvar implementation: the capacity is small (the
 /// EngineConfig::ingest_queue_depth double-buffer) and items are whole
 /// micro-batches, so handoff cost is irrelevant next to the work each item
 /// carries — simplicity and TSan-provable correctness win over lock-free
 /// cleverness. The mutex also supplies the happens-before edge that makes
-/// the producer's window/grid/imputer mutations visible to the consumer.
+/// the producer's window/grid/imputer mutations visible to the consumer
+/// (and, in scheduler mode, chains the edge from one kIngest link's worker
+/// to the next).
 template <typename T>
 class BatchQueue {
  public:
@@ -32,7 +40,8 @@ class BatchQueue {
   BatchQueue(const BatchQueue&) = delete;
   BatchQueue& operator=(const BatchQueue&) = delete;
 
-  /// Enqueues `item`, blocking while the queue is full. Producer-side only.
+  /// Enqueues `item`, blocking while the queue is full. Safe from multiple
+  /// producer threads (the ingest chain's links run on varying workers).
   /// Returns false — dropping the item — once the consumer has Cancelled
   /// (which tells the producer to stop) or the queue has been Closed: after
   /// end-of-stream was signalled no further item can precede it, so a late
@@ -53,7 +62,7 @@ class BatchQueue {
 
   /// Dequeues into `*out`, blocking while the queue is empty and not yet
   /// closed. Returns false once the queue is closed and drained, or
-  /// immediately after Cancel.
+  /// immediately after Cancel. Single-consumer: exactly one thread pops.
   bool Pop(T* out) {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(

@@ -9,8 +9,9 @@
 
 namespace terids {
 
-ShardedErGrid::ShardedErGrid(int dims, double cell_width, int num_shards)
-    : dims_(dims), cell_width_(cell_width) {
+ShardedErGrid::ShardedErGrid(int dims, double cell_width, int num_shards,
+                             Scheduler* scheduler)
+    : dims_(dims), cell_width_(cell_width), scheduler_(scheduler) {
   TERIDS_CHECK(dims >= 1);
   TERIDS_CHECK(cell_width > 0.0);
   TERIDS_CHECK(num_shards >= 1);
@@ -18,7 +19,7 @@ ShardedErGrid::ShardedErGrid(int dims, double cell_width, int num_shards)
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<ErGridShard>(dims));
   }
-  if (num_shards > 1) {
+  if (num_shards > 1 && scheduler_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(num_shards);
   }
 }
@@ -127,7 +128,12 @@ bool ShardedErGrid::Maintain(const WindowTuple* insert,
       TERIDS_CHECK(shards_[s]->Remove(expired));
     }
   };
-  if (parallel && pool_ != nullptr && involved.size() > 1) {
+  if (parallel && scheduler_ != nullptr && shards_.size() > 1 &&
+      involved.size() > 1) {
+    scheduler_->ParallelFor(ExecPhase::kMaintain,
+                            static_cast<int64_t>(involved.size()),
+                            maintain_shard);
+  } else if (parallel && pool_ != nullptr && involved.size() > 1) {
     pool_->ParallelFor(static_cast<int64_t>(involved.size()), maintain_shard);
   } else {
     for (size_t i = 0; i < involved.size(); ++i) {
@@ -157,7 +163,10 @@ ShardedErGrid::CandidateResult ShardedErGrid::Candidates(
     shards_[i]->Probe(probe, q_bounds, dist_budget, topic_constrained,
                       &outputs[i]);
   };
-  if (pool_ != nullptr) {
+  if (scheduler_ != nullptr && shards_.size() > 1) {
+    scheduler_->ParallelFor(ExecPhase::kCandidate,
+                            static_cast<int64_t>(shards_.size()), probe_shard);
+  } else if (pool_ != nullptr) {
     pool_->ParallelFor(static_cast<int64_t>(shards_.size()), probe_shard);
   } else {
     for (size_t i = 0; i < shards_.size(); ++i) {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/scheduler.h"
 #include "exec/thread_pool.h"
 #include "stream/sliding_window.h"
 #include "synopsis/er_grid_shard.h"
@@ -20,7 +21,8 @@ namespace terids {
 /// instances to cell keys once, routes each key to shard `key mod
 /// num_shards`, and tracks which shards hold which tuple so removals are
 /// targeted. `Candidates` fans the probe out over all shards — on an
-/// internal ThreadPool when `num_shards > 1` — and merges the per-shard
+/// internal ThreadPool when `num_shards > 1`, or as kCandidate work items
+/// on the shared Scheduler when one was passed — and merges the per-shard
 /// verdicts deterministically: per-member verdicts are max-merged (the same
 /// rule a single grid applies across a tuple's cells), prune counters are
 /// summed, and the surviving candidates are emitted in ascending-rid order.
@@ -32,8 +34,13 @@ namespace terids {
 class ShardedErGrid {
  public:
   /// `dims` = number of attributes d; `cell_width` = side length of a cell
-  /// in the converted space; `num_shards` >= 1 partitions.
-  ShardedErGrid(int dims, double cell_width, int num_shards);
+  /// in the converted space; `num_shards` >= 1 partitions. With `scheduler`
+  /// null and `num_shards` > 1 the grid owns a private fan-out ThreadPool
+  /// (legacy mode); with a scheduler, probe and maintain fan-outs dispatch
+  /// as kCandidate / kMaintain work items on the shared workers instead
+  /// (not owned, must outlive the grid; DESIGN.md §10).
+  ShardedErGrid(int dims, double cell_width, int num_shards,
+                Scheduler* scheduler = nullptr);
 
   void Insert(const WindowTuple* wt);
   /// Removes an expired tuple. Returns false if it was never inserted.
@@ -43,7 +50,8 @@ class ShardedErGrid {
   /// and removes `expired` (either may be null). With `parallel`, the
   /// per-shard work — this shard's insert keys plus its removal of the
   /// expired tuple — fans out across the involved shards on the probe
-  /// ThreadPool (DESIGN.md §9); shards share no state and each task
+  /// ThreadPool, or as kMaintain items on the shared Scheduler (DESIGN.md
+  /// §9-§10); shards share no state and each task
   /// touches exactly one shard, so the grid contents are identical to the
   /// serial Insert-then-Remove sequence for every setting. Returns false
   /// iff `expired` was non-null but never inserted.
@@ -95,9 +103,12 @@ class ShardedErGrid {
   // skips the cross-shard verdict map entirely — every member's max-merge
   // already happened inside its single shard.
   size_t multi_shard_tuples_ = 0;
-  // Probe fan-out pool; null when single-sharded. Mutable because
-  // Candidates is logically const but dispatching a job mutates pool state.
+  // Probe fan-out pool; null when single-sharded or when a shared scheduler
+  // was supplied. Mutable because Candidates is logically const but
+  // dispatching a job mutates pool state.
   mutable std::unique_ptr<ThreadPool> pool_;
+  // Shared scheduler (unified mode); fan-outs go through it when set.
+  Scheduler* scheduler_ = nullptr;
 };
 
 }  // namespace terids

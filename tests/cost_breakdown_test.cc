@@ -84,13 +84,15 @@ TEST(CostBreakdownTest, ToJsonRendersAllFields) {
   c.batch_seconds = 0.0625;
   c.candidate_seconds = 0.03125;
   c.queue_wait_seconds = 0.015625;
+  c.maintain_seconds = 0.0078125;
   c.cdd_memo_queries = 8;
   c.cdd_memo_repeats = 2;
   EXPECT_EQ(c.ToJson(),
             "{\"cdd_select_seconds\":0.125,\"impute_seconds\":0.25,"
             "\"er_seconds\":0.5,\"refine_seconds\":0.375,"
             "\"batch_seconds\":0.0625,\"candidate_seconds\":0.03125,"
-            "\"queue_wait_seconds\":0.015625,\"cdd_memo_queries\":8,"
+            "\"queue_wait_seconds\":0.015625,"
+            "\"maintain_seconds\":0.0078125,\"cdd_memo_queries\":8,"
             "\"cdd_memo_repeats\":2,\"cdd_memo_hit_rate\":0.25,"
             "\"total_seconds\":0.875}");
 }

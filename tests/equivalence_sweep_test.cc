@@ -7,9 +7,11 @@
 //    changes cost, never results — checked over a grid of query
 //    parameters rather than a single configuration.
 // 2. Across every datagen profile and (batch_size, refine_threads,
-//    grid_shards, ingest_queue_depth) combination, the batched / parallel /
-//    sharded-grid / async-ingest operator (ProcessStream over ProcessBatch
-//    + RefinementExecutor + ShardedErGrid + BatchQueue) must be
+//    grid_shards, ingest_queue_depth, maintain_shards, signature_filter,
+//    sched_threads) combination, the batched / parallel / sharded-grid /
+//    async-ingest operator (ProcessStream over ProcessBatch +
+//    RefinementExecutor + ShardedErGrid + BatchQueue, dispatched either on
+//    the legacy per-subsystem pools or the unified Scheduler) must be
 //    bit-identical to one-at-a-time ProcessArrival: same per-arrival
 //    matches in the same order, same final MatchSet, same cumulative
 //    PruneStats.
@@ -82,8 +84,9 @@ INSTANTIATE_TEST_SUITE_P(
 // --- Batched / parallel / sharded / async operator equivalence -------------
 
 // profile, batch, refine_threads, grid_shards, ingest_queue_depth,
-// maintain_shards, signature_filter
-using BatchCombo = std::tuple<std::string, int, int, int, int, int, bool>;
+// maintain_shards, signature_filter, sched_threads
+using BatchCombo =
+    std::tuple<std::string, int, int, int, int, int, bool, int>;
 
 class BatchEquivalenceSweepTest
     : public ::testing::TestWithParam<BatchCombo> {};
@@ -106,7 +109,7 @@ void ExpectSameStats(const PruneStats& a, const PruneStats& b) {
 
 TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
   const auto [profile, batch_size, refine_threads, grid_shards, queue_depth,
-              maintain_shards, signature_filter] = GetParam();
+              maintain_shards, signature_filter, sched_threads] = GetParam();
   ExperimentParams params;
   // Per-profile scale mirrors bench::BaseParams ratios: EBooks (long token
   // sets) and Songs (the 1M-tuple dataset) blow up wall time at a uniform
@@ -127,7 +130,7 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
   for (PipelineKind kind :
        {PipelineKind::kTerIds, PipelineKind::kConstraintEr}) {
     auto replay = [&](int bs, int threads, int shards, int queue,
-                      int maintain, bool sigfilter) {
+                      int maintain, bool sigfilter, int sched) {
       std::unique_ptr<Repository> repo = experiment.BuildRepository();
       EngineConfig config = experiment.MakeConfig();
       config.batch_size = bs;
@@ -136,6 +139,7 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
       config.ingest_queue_depth = queue;
       config.maintain_shards = maintain;
       config.signature_filter = sigfilter;
+      config.sched_threads = sched;
       std::unique_ptr<ErPipeline> pipeline =
           MakePipeline(kind, repo.get(), config, 2, experiment.cdds(),
                        experiment.dds(), experiment.editing_rules());
@@ -164,17 +168,18 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
     };
 
     // The oracle is the seed configuration: one-at-a-time, single shard,
-    // serial maintain, signature filter off (plain merges everywhere).
-    const ReplayResult sequential =
-        replay(1, 1, 1, 0, /*maintain=*/1, /*sigfilter=*/false);
+    // serial maintain, signature filter off (plain merges everywhere),
+    // legacy per-pool execution (no scheduler).
+    const ReplayResult sequential = replay(1, 1, 1, 0, /*maintain=*/1,
+                                           /*sigfilter=*/false, /*sched=*/0);
     const ReplayResult batched =
         replay(batch_size, refine_threads, grid_shards, queue_depth,
-               maintain_shards, signature_filter);
+               maintain_shards, signature_filter, sched_threads);
     EXPECT_EQ(batched.emitted, sequential.emitted)
         << profile << " " << PipelineKindName(kind) << " batch=" << batch_size
         << " threads=" << refine_threads << " shards=" << grid_shards
         << " queue=" << queue_depth << " maintain=" << maintain_shards
-        << " sigfilter=" << signature_filter;
+        << " sigfilter=" << signature_filter << " sched=" << sched_threads;
     ASSERT_EQ(batched.final_set.size(), sequential.final_set.size());
     for (size_t i = 0; i < batched.final_set.size(); ++i) {
       EXPECT_EQ(batched.final_set[i].rid_a, sequential.final_set[i].rid_a);
@@ -270,30 +275,48 @@ std::vector<BatchCombo> BatchCombos() {
     // sigfilter-off oracle)...
     for (const auto& [batch, threads] :
          std::vector<std::pair<int, int>>{{1, 4}, {8, 1}, {8, 4}}) {
-      combos.emplace_back(profile, batch, threads, 1, 0, 1, true);
+      combos.emplace_back(profile, batch, threads, 1, 0, 1, true, 0);
     }
-    // ...plus the everything-on configuration per profile: sharded grid +
-    // async ingest + parallel refinement + parallel maintain + signature
-    // filter (the TSan job's main data-race surface).
-    combos.emplace_back(profile, 8, 4, 4, 2, 4, true);
+    // ...plus the everything-on configuration per profile, once on the
+    // legacy per-subsystem pools and once on the unified scheduler: sharded
+    // grid + async ingest + parallel refinement + parallel maintain +
+    // signature filter (the TSan job's main data-race surface).
+    combos.emplace_back(profile, 8, 4, 4, 2, 4, true, 0);
+    combos.emplace_back(profile, 8, 4, 4, 2, 4, true, 4);
   }
   // Full shards x queue x threads cross on one profile (the acceptance
   // matrix): isolates each new axis against the sequential oracle.
-  combos.emplace_back("Citations", 8, 1, 4, 0, 1, true);
-  combos.emplace_back("Citations", 8, 4, 4, 0, 1, true);
-  combos.emplace_back("Citations", 8, 1, 1, 2, 1, true);
-  combos.emplace_back("Citations", 8, 4, 1, 2, 1, true);
-  combos.emplace_back("Citations", 8, 1, 4, 2, 1, true);
-  combos.emplace_back("Citations", 1, 1, 4, 2, 1, true);  // async, batch 1
+  combos.emplace_back("Citations", 8, 1, 4, 0, 1, true, 0);
+  combos.emplace_back("Citations", 8, 4, 4, 0, 1, true, 0);
+  combos.emplace_back("Citations", 8, 1, 1, 2, 1, true, 0);
+  combos.emplace_back("Citations", 8, 4, 1, 2, 1, true, 0);
+  combos.emplace_back("Citations", 8, 1, 4, 2, 1, true, 0);
+  combos.emplace_back("Citations", 1, 1, 4, 2, 1, true, 0);  // async, batch 1
   // Maintain-shard and signature-filter axes in isolation: parallel
   // maintain with everything else sequential, the sig filter both ways,
   // and parallel maintain under async ingest (maintain fan-out runs on the
   // ingest thread there).
-  combos.emplace_back("Citations", 1, 1, 4, 0, 4, false);
-  combos.emplace_back("Citations", 1, 1, 4, 0, 4, true);
-  combos.emplace_back("Citations", 8, 4, 4, 0, 4, false);
-  combos.emplace_back("Citations", 8, 4, 4, 2, 4, false);
-  combos.emplace_back("Bikes", 8, 4, 4, 2, 4, false);
+  combos.emplace_back("Citations", 1, 1, 4, 0, 4, false, 0);
+  combos.emplace_back("Citations", 1, 1, 4, 0, 4, true, 0);
+  combos.emplace_back("Citations", 8, 4, 4, 0, 4, false, 0);
+  combos.emplace_back("Citations", 8, 4, 4, 2, 4, false, 0);
+  combos.emplace_back("Bikes", 8, 4, 4, 2, 4, false, 0);
+  // Unified-scheduler axes in isolation (Citations): scheduler constructed
+  // but no phase fans out; each phase fanning out alone on the shared
+  // workers (refine / candidate probe / maintain / the kIngest chain); the
+  // single-worker and two-worker edges of the caller-participation
+  // discipline under the everything-on load; and sigfilter-off + scheduler
+  // against the sigfilter-off oracle.
+  combos.emplace_back("Citations", 1, 1, 1, 0, 1, true, 4);
+  combos.emplace_back("Citations", 8, 4, 1, 0, 1, true, 4);
+  combos.emplace_back("Citations", 1, 1, 4, 0, 1, true, 4);
+  combos.emplace_back("Citations", 1, 1, 4, 0, 4, true, 4);
+  combos.emplace_back("Citations", 8, 1, 1, 2, 1, true, 4);
+  combos.emplace_back("Citations", 1, 1, 4, 2, 1, true, 4);  // chain, batch 1
+  combos.emplace_back("Citations", 8, 4, 4, 2, 4, true, 1);
+  combos.emplace_back("Citations", 8, 4, 4, 2, 4, true, 2);
+  combos.emplace_back("Citations", 8, 4, 4, 2, 4, false, 4);
+  combos.emplace_back("Bikes", 8, 4, 4, 2, 4, false, 4);
   return combos;
 }
 
@@ -311,7 +334,9 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, BatchEquivalenceSweepTest,
                                   "_m" +
                                   std::to_string(std::get<5>(info.param)) +
                                   (std::get<6>(info.param) ? "_sig1"
-                                                           : "_sig0");
+                                                           : "_sig0") +
+                                  "_c" +
+                                  std::to_string(std::get<7>(info.param));
                          });
 
 }  // namespace

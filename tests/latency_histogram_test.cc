@@ -1,0 +1,242 @@
+// LatencyHistogram unit tests: bucket-boundary math pinned against the
+// log-bucketing definition, merge associativity, and percentile queries
+// validated against a sorted-vector oracle (the histogram's answer must
+// fall inside the bucket holding the oracle's rank element).
+
+#include "eval/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace terids {
+namespace {
+
+TEST(LatencyHistogramTest, ExactBucketsBelowSubBucketRange) {
+  // Durations in [0, kSubBuckets) get one exact bucket each.
+  for (uint64_t nanos = 0;
+       nanos < static_cast<uint64_t>(LatencyHistogram::kSubBuckets); ++nanos) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(nanos),
+              static_cast<int>(nanos));
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(static_cast<int>(nanos)),
+              nanos);
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(static_cast<int>(nanos)),
+              nanos + 1);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundsContainTheirValues) {
+  // Every probed duration must land in a bucket whose [lo, hi) range
+  // contains it — probe powers of two, their neighbors, and mid-octave
+  // points across the full range.
+  std::vector<uint64_t> probes;
+  for (int e = 0; e < 63; ++e) {
+    const uint64_t p = static_cast<uint64_t>(1) << e;
+    probes.push_back(p);
+    probes.push_back(p + 1);
+    if (p > 1) {
+      probes.push_back(p - 1);
+      probes.push_back(p + p / 2);
+    }
+  }
+  for (uint64_t nanos : probes) {
+    const int bucket = LatencyHistogram::BucketIndex(nanos);
+    ASSERT_GE(bucket, 0);
+    ASSERT_LT(bucket, LatencyHistogram::kNumBuckets);
+    EXPECT_GE(nanos, LatencyHistogram::BucketLowerBound(bucket))
+        << "nanos=" << nanos;
+    EXPECT_LT(nanos, LatencyHistogram::BucketUpperBound(bucket))
+        << "nanos=" << nanos;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketsAreMonotoneAndContiguous) {
+  // Walking buckets upward, each upper bound is the next lower bound (no
+  // gaps, no overlap), and BucketIndex maps each lower bound back to its
+  // own bucket.
+  int prev = -1;
+  for (int b = 0; b < LatencyHistogram::kNumBuckets - 1; ++b) {
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(b);
+    const uint64_t hi = LatencyHistogram::BucketUpperBound(b);
+    ASSERT_LT(lo, hi);
+    EXPECT_EQ(hi, LatencyHistogram::BucketLowerBound(b + 1));
+    const int back = LatencyHistogram::BucketIndex(lo);
+    EXPECT_EQ(back, b);
+    EXPECT_GT(back, prev);
+    prev = back;
+  }
+}
+
+TEST(LatencyHistogramTest, RelativeBucketWidthIsBounded) {
+  // The log-bucketing guarantee: above the exact range, bucket width is at
+  // most lo / kSubBuckets, i.e. <= 6.25% relative error at 16 sub-buckets.
+  for (int b = LatencyHistogram::kSubBuckets;
+       b < LatencyHistogram::kNumBuckets - 1; ++b) {
+    const double lo =
+        static_cast<double>(LatencyHistogram::BucketLowerBound(b));
+    const double width =
+        static_cast<double>(LatencyHistogram::BucketUpperBound(b)) - lo;
+    EXPECT_LE(width / lo,
+              1.0 / static_cast<double>(LatencyHistogram::kSubBuckets) +
+                  1e-12)
+        << "bucket=" << b;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.mean_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max_seconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, CountMeanMaxAreExact) {
+  // count / mean / max bypass the buckets entirely, so they are exact even
+  // though percentiles are bucket-resolved.
+  LatencyHistogram hist;
+  hist.RecordNanos(1000);
+  hist.RecordNanos(3000);
+  hist.RecordNanos(500000);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.mean_seconds(), (1000 + 3000 + 500000) / 3.0 * 1e-9);
+  EXPECT_DOUBLE_EQ(hist.max_seconds(), 500000 * 1e-9);
+}
+
+// Percentile vs. a sorted-vector oracle: the histogram's answer must land
+// in the same bucket as the oracle's rank element (that bucket's bounds are
+// the tightest guarantee a bucketed histogram can give).
+void ExpectPercentilesMatchOracle(const std::vector<uint64_t>& samples) {
+  LatencyHistogram hist;
+  for (uint64_t s : samples) {
+    hist.RecordNanos(s);
+  }
+  std::vector<uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double qc = q * static_cast<double>(sorted.size());
+    size_t rank = static_cast<size_t>(std::ceil(qc));
+    rank = rank > 0 ? rank - 1 : 0;
+    rank = std::min(rank, sorted.size() - 1);
+    const uint64_t oracle = sorted[rank];
+    const int oracle_bucket = LatencyHistogram::BucketIndex(oracle);
+    const double lo =
+        static_cast<double>(LatencyHistogram::BucketLowerBound(oracle_bucket));
+    const double hi =
+        static_cast<double>(LatencyHistogram::BucketUpperBound(oracle_bucket));
+    const double got = hist.Percentile(q) * 1e9;
+    EXPECT_GE(got, lo) << "q=" << q << " oracle=" << oracle;
+    EXPECT_LE(got, hi) << "q=" << q << " oracle=" << oracle;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileMatchesSortedVectorOracle) {
+  // Deterministic pseudo-random skew: a long-tailed mix spanning five
+  // orders of magnitude, the shape arrival latencies actually take.
+  std::vector<uint64_t> samples;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    samples.push_back(1000 + x % 100000);       // 1-101 us bulk
+    if (i % 100 == 0) {
+      samples.push_back(10000000 + x % 90000000);  // 10-100 ms tail
+    }
+  }
+  ExpectPercentilesMatchOracle(samples);
+}
+
+TEST(LatencyHistogramTest, PercentileOfUniformRamp) {
+  std::vector<uint64_t> samples;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    samples.push_back(i * 1000);  // 1us .. 1ms ramp
+  }
+  ExpectPercentilesMatchOracle(samples);
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAndCommutative) {
+  std::vector<uint64_t> all;
+  LatencyHistogram parts[3];
+  uint64_t x = 12345;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 500; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      const uint64_t nanos = 100 + (x >> 33) % 10000000;
+      parts[p].RecordNanos(nanos);
+      all.push_back(nanos);
+    }
+  }
+  LatencyHistogram oracle;
+  for (uint64_t nanos : all) {
+    oracle.RecordNanos(nanos);
+  }
+  // (a + b) + c and c + (b + a) must both equal the all-at-once histogram.
+  LatencyHistogram left;
+  left.Merge(parts[0]);
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  LatencyHistogram right;
+  right.Merge(parts[2]);
+  right.Merge(parts[1]);
+  right.Merge(parts[0]);
+  for (const LatencyHistogram* merged : {&left, &right}) {
+    EXPECT_EQ(merged->count(), oracle.count());
+    EXPECT_DOUBLE_EQ(merged->mean_seconds(), oracle.mean_seconds());
+    EXPECT_DOUBLE_EQ(merged->max_seconds(), oracle.max_seconds());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_DOUBLE_EQ(merged->Percentile(q), oracle.Percentile(q)) << q;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram hist;
+  hist.Record(0.5);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max_seconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, ToJsonHasStableSchema) {
+  LatencyHistogram hist;
+  hist.Record(0.001);
+  const std::string json = hist.ToJson();
+  for (const char* key : {"\"count\":", "\"p50_ms\":", "\"p99_ms\":",
+                          "\"p999_ms\":", "\"mean_ms\":", "\"max_ms\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(LatencyStatsTest, PhasesMergeIndependently) {
+  LatencyStats a;
+  a.of(ExecPhase::kIngest).RecordNanos(1000);
+  a.of(ExecPhase::kRefine).RecordNanos(2000);
+  a.end_to_end.RecordNanos(5000);
+  LatencyStats b;
+  b.of(ExecPhase::kRefine).RecordNanos(3000);
+  b.of(ExecPhase::kMaintain).RecordNanos(4000);
+  a.Merge(b);
+  EXPECT_EQ(a.of(ExecPhase::kIngest).count(), 1u);
+  EXPECT_EQ(a.of(ExecPhase::kCandidate).count(), 0u);
+  EXPECT_EQ(a.of(ExecPhase::kRefine).count(), 2u);
+  EXPECT_EQ(a.of(ExecPhase::kMaintain).count(), 1u);
+  EXPECT_EQ(a.end_to_end.count(), 1u);
+}
+
+TEST(LatencyStatsTest, ToJsonKeysEveryPhase) {
+  LatencyStats stats;
+  const std::string json = stats.ToJson();
+  for (const char* key : {"\"ingest\":", "\"candidate\":", "\"refine\":",
+                          "\"maintain\":", "\"end_to_end\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+}  // namespace
+}  // namespace terids
