@@ -70,6 +70,18 @@ RepoBackend EnvRepoBackend() {
   return backend;
 }
 
+int EnvSigWidth() {
+  const int v = EnvInt("TERIDS_BENCH_SIGWIDTH", 64, 64);
+  if (v != 64 && v != 128 && v != 256) {
+    std::fprintf(stderr,
+                 "TERIDS_BENCH_SIGWIDTH: %d is not a signature width "
+                 "(expected 64, 128 or 256); using default 64\n",
+                 v);
+    return 64;
+  }
+  return v;
+}
+
 }  // namespace
 
 ExecKnobs EnvExecKnobs() {
@@ -79,6 +91,7 @@ ExecKnobs EnvExecKnobs() {
   knobs.grid_shards = EnvInt("TERIDS_BENCH_SHARDS", 1, 1);
   knobs.ingest_queue_depth = EnvInt("TERIDS_BENCH_QUEUE", 0, 0);
   knobs.signature_filter = EnvInt("TERIDS_BENCH_SIGFILTER", 1, 0) != 0;
+  knobs.sig_width = EnvSigWidth();
   knobs.maintain_shards = EnvInt("TERIDS_BENCH_MAINTAIN", 1, 1);
   knobs.sched_threads = EnvInt("TERIDS_BENCH_SCHED", 0, 0);
   knobs.repo_backend = EnvRepoBackend();
@@ -103,6 +116,7 @@ ExperimentParams BaseParams(const std::string& dataset) {
   params.grid_shards = knobs.grid_shards;
   params.ingest_queue_depth = knobs.ingest_queue_depth;
   params.signature_filter = knobs.signature_filter;
+  params.sig_width = knobs.sig_width;
   params.maintain_shards = knobs.maintain_shards;
   params.sched_threads = knobs.sched_threads;
   params.repo_backend = knobs.repo_backend;
@@ -201,6 +215,7 @@ JsonReporter::Row& JsonReporter::AddKnobRow(const ExecKnobs& knobs) {
       .Num("grid_shards", knobs.grid_shards)
       .Num("ingest_queue_depth", knobs.ingest_queue_depth)
       .Num("signature_filter", knobs.signature_filter ? 1 : 0)
+      .Num("sig_width", knobs.sig_width)
       .Num("maintain_shards", knobs.maintain_shards)
       .Num("sched_threads", knobs.sched_threads)
       .Str("repo_backend", RepoBackendName(knobs.repo_backend));
@@ -229,13 +244,14 @@ void PrintHeader(const std::string& figure, const std::string& title,
   std::printf(
       "defaults (Table 5, scaled): alpha=%.1f rho=%.1f xi=%.1f eta=%.1f "
       "w=%d m=%d scale=%.3f arrivals=%d bench_scale=%.2f batch=%d "
-      "threads=%d shards=%d queue=%d sigfilter=%d maintain=%d sched=%d "
-      "repo=%s\n",
+      "threads=%d shards=%d queue=%d sigfilter=%d sigwidth=%d maintain=%d "
+      "sched=%d repo=%s\n",
       params.alpha, params.rho, params.xi, params.eta, params.w, params.m,
       params.scale, params.max_arrivals, EnvScale(), params.batch_size,
       params.refine_threads, params.grid_shards, params.ingest_queue_depth,
-      params.signature_filter ? 1 : 0, params.maintain_shards,
-      params.sched_threads, RepoBackendName(params.repo_backend));
+      params.signature_filter ? 1 : 0, params.sig_width,
+      params.maintain_shards, params.sched_threads,
+      RepoBackendName(params.repo_backend));
 }
 
 namespace {

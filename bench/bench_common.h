@@ -33,19 +33,21 @@ int EnvInt(const char* name, int fallback, int min_value);
 /// kernel on), TERIDS_BENCH_MAINTAIN (maintain_shards, default 1 = serial
 /// grid maintenance), TERIDS_BENCH_SCHED (sched_threads, default 0 =
 /// legacy per-subsystem pools; >= 1 = the unified scheduler's worker
-/// count) and the repository storage backend from
-/// TERIDS_BENCH_REPO_BACKEND ("memory" | "mmap", default memory). Every
-/// bench that replays arrivals through Experiment::Run inherits them via
-/// BaseParams, so any figure can be reproduced under micro-batching,
-/// parallel refinement, grid sharding, async ingest, the signature filter,
-/// parallel maintain, the unified scheduler, and either storage backend
-/// without code changes.
+/// count), the token-signature width from TERIDS_BENCH_SIGWIDTH (64 | 128
+/// | 256, default 64; DESIGN.md §11), and the repository storage backend
+/// from TERIDS_BENCH_REPO_BACKEND ("memory" | "mmap", default memory).
+/// Every bench that replays arrivals through Experiment::Run inherits them
+/// via BaseParams, so any figure can be reproduced under micro-batching,
+/// parallel refinement, grid sharding, async ingest, the signature filter
+/// at any width, parallel maintain, the unified scheduler, and either
+/// storage backend without code changes.
 struct ExecKnobs {
   int batch_size = 1;
   int refine_threads = 1;
   int grid_shards = 1;
   int ingest_queue_depth = 0;
   bool signature_filter = true;
+  int sig_width = 64;
   int maintain_shards = 1;
   int sched_threads = 0;
   RepoBackend repo_backend = RepoBackend::kInMemory;

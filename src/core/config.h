@@ -59,13 +59,23 @@ struct EngineConfig {
   /// batch k, at most this many batches ahead.
   int ingest_queue_depth = 0;
   /// Enables the signature-bounded Jaccard kernel inside refinement: the
-  /// per-(instance, attribute) 64-bit token signatures precomputed in each
-  /// tuple's TokenArena give an O(1) popcount upper bound that rejects
-  /// instance pairs before any token merge runs (DESIGN.md §9). The bound
-  /// only skips merges whose sim > gamma verdict is already decided, so
-  /// emitted matches, MatchSet, and PruneStats are bit-identical with the
-  /// filter on or off (the equivalence sweep enforces it).
+  /// per-(instance, attribute) token signatures precomputed in each
+  /// tuple's TokenArena give an O(words) popcount upper bound that rejects
+  /// instance pairs before any token merge runs (DESIGN.md §9, §11). The
+  /// bound only skips merges whose sim > gamma verdict is already decided,
+  /// so emitted matches, MatchSet, and PruneStats are bit-identical with
+  /// the filter on or off (the equivalence sweep enforces it).
   bool signature_filter = true;
+  /// Width in bits of the per-(instance, attribute) token signatures: 64,
+  /// 128, or 256 (DESIGN.md §11). Wider signatures halve/quarter the hash
+  /// collision rate, tightening the popcount upper bound on long token
+  /// sets (fewer saturated probes, more merge-free rejects) at the price
+  /// of 2x/4x signature memory and popcount work per probe — the batch
+  /// sweep vectorizes the extra words (AVX2/NEON when available). Any
+  /// width changes merge counts only: matches, MatchSet, and PruneStats'
+  /// outcome counters are bit-identical across widths (equivalence sweep
+  /// enforced); only the sig_* observability counters may differ.
+  int sig_width = 64;
   /// MaintainPhase fan-out: 1 = grid insert/remove runs serially on the
   /// maintaining thread (seed behavior); > 1 = the per-shard insert/remove
   /// work of one arrival is fanned out across the ER-grid's shards on its

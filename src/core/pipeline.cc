@@ -8,6 +8,7 @@
 
 #include "er/probability.h"
 #include "stream/batch_queue.h"
+#include "text/similarity_kernels.h"
 #include "util/stopwatch.h"
 
 namespace terids {
@@ -45,6 +46,7 @@ PipelineBase::PipelineBase(Repository* repo, EngineConfig config,
   TERIDS_CHECK(config_.ingest_queue_depth >= 0);
   TERIDS_CHECK(config_.maintain_shards >= 1);
   TERIDS_CHECK(config_.sched_threads >= 0);
+  TERIDS_CHECK(ValidSigBits(config_.sig_width));
   if (config_.sched_threads >= 1) {
     sched_ = std::make_unique<Scheduler>(config_.sched_threads);
   }
@@ -113,13 +115,14 @@ void PipelineBase::ImputePhase(ArrivalContext* ctx) {
   const ProbeCoords pc = ProbeCoords::Compute(r, *repo_);
   if (r.IsComplete()) {
     ctx->tuple = std::make_shared<const ImputedTuple>(
-        ImputedTuple::FromComplete(r, repo_));
+        ImputedTuple::FromComplete(r, repo_, config_.sig_width));
   } else {
     std::vector<ImputedTuple::ImputedAttr> imputed =
         Impute(r, pc, &ctx->out.cost);
     ctx->tuple = std::make_shared<const ImputedTuple>(
         ImputedTuple::FromImputation(r, repo_, std::move(imputed),
-                                     config_.max_instances));
+                                     config_.max_instances,
+                                     config_.sig_width));
   }
   ctx->wt = std::make_shared<WindowTuple>();
   ctx->wt->tuple = ctx->tuple;
@@ -148,6 +151,9 @@ void PipelineBase::ApplyEvaluation(ArrivalContext* ctx,
                                    const WindowTuple* cand,
                                    const PairEvaluation& eval) {
   ctx->out.stats.Record(eval.outcome);
+  ctx->out.stats.sig_probes += eval.sig_probes;
+  ctx->out.stats.sig_saturated += eval.sig_saturated;
+  ctx->out.stats.sig_rejects += eval.sig_rejects;
   if (!eval.matched()) {
     return;
   }

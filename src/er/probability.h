@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "er/similarity.h"
 #include "er/topic.h"
 #include "tuple/imputed_tuple.h"
 
@@ -32,13 +33,16 @@ struct RefineResult {
 /// two tuples under the query topic. With `signature_filter` each instance
 /// pair's sim > gamma verdict goes through the signature-bounded kernel
 /// (InstanceSimilarityExceeds), which may skip merges but never changes a
-/// verdict — the result is bit-identical either way.
+/// verdict — the result is bit-identical either way. `sig_counters`, when
+/// non-null, accumulates the filter's saturation observability counters
+/// (SigFilterCounters) across the evaluated instance pairs.
 RefineResult RefineProbability(const ImputedTuple& a,
                                const TopicQuery::TupleTopic& a_topic,
                                const ImputedTuple& b,
                                const TopicQuery::TupleTopic& b_topic,
                                double gamma, double alpha,
-                               bool signature_filter = true);
+                               bool signature_filter = true,
+                               SigFilterCounters* sig_counters = nullptr);
 
 /// Exact (never early-terminated) form, for tests, ground-truth
 /// computation, and the unpruned baselines.
@@ -46,7 +50,8 @@ double ExactProbability(const ImputedTuple& a,
                         const TopicQuery::TupleTopic& a_topic,
                         const ImputedTuple& b,
                         const TopicQuery::TupleTopic& b_topic, double gamma,
-                        bool signature_filter = true);
+                        bool signature_filter = true,
+                        SigFilterCounters* sig_counters = nullptr);
 
 }  // namespace terids
 

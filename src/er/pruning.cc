@@ -32,9 +32,12 @@ PairEvaluation EvaluatePair(const ImputedTuple& a,
   }
 
   // Refinement with Theorem 4.4 early termination.
-  RefineResult refine =
-      RefineProbability(a, a_topic, b, b_topic, gamma, alpha,
-                        signature_filter);
+  SigFilterCounters sig;
+  RefineResult refine = RefineProbability(a, a_topic, b, b_topic, gamma,
+                                          alpha, signature_filter, &sig);
+  eval.sig_probes = sig.probes;
+  eval.sig_saturated = sig.saturated;
+  eval.sig_rejects = sig.rejects;
   if (refine.early_pruned) {
     eval.outcome = PairOutcome::kInstancePruned;
     return eval;

@@ -32,6 +32,17 @@ struct PruneStats {
   /// Pairs that survived all pruning and were fully refined.
   uint64_t refined = 0;
   uint64_t matched = 0;
+  /// Signature-filter observability (SigFilterCounters, DESIGN.md §11):
+  /// probes inspected by the popcount pass, how many were saturated (> 75%
+  /// of bits set — the regime where the bound loosens), and how many
+  /// instance pairs the pass certified merge-free. Unlike every counter
+  /// above these are cost-side diagnostics, not outcome counts: saturated /
+  /// rejects legitimately vary with EngineConfig::sig_width (probes does
+  /// not), and all three are zero with the filter off, so the equivalence
+  /// sweep's stats comparison deliberately excludes them.
+  uint64_t sig_probes = 0;
+  uint64_t sig_saturated = 0;
+  uint64_t sig_rejects = 0;
 
   void Add(const PruneStats& other) {
     total_pairs += other.total_pairs;
@@ -41,6 +52,9 @@ struct PruneStats {
     instance_pruned += other.instance_pruned;
     refined += other.refined;
     matched += other.matched;
+    sig_probes += other.sig_probes;
+    sig_saturated += other.sig_saturated;
+    sig_rejects += other.sig_rejects;
   }
 
   /// Folds one pair evaluation into the counters. This is the only way the
@@ -81,6 +95,14 @@ struct PruneStats {
     return PowerOf(topic_pruned + sim_ub_pruned + prob_ub_pruned +
                    instance_pruned);
   }
+  /// Fraction (in percent) of signature probes that were saturated — the
+  /// production-visible signal that the configured sig_width is too narrow
+  /// for the workload's token-set lengths.
+  double SigSaturatedPct() const {
+    return sig_probes == 0 ? 0.0
+                           : 100.0 * static_cast<double>(sig_saturated) /
+                                 static_cast<double>(sig_probes);
+  }
 };
 
 /// Value result of one pair evaluation: the cascade outcome plus, for a
@@ -89,6 +111,12 @@ struct PairEvaluation {
   PairOutcome outcome = PairOutcome::kRefuted;
   /// Meaningful only when `outcome == kMatched`.
   double probability = 0.0;
+  /// Signature-filter observability for this pair (folded into PruneStats'
+  /// sig_* counters by the pipeline); all zero when the filter is off or
+  /// the cascade pruned the pair before refinement.
+  uint64_t sig_probes = 0;
+  uint64_t sig_saturated = 0;
+  uint64_t sig_rejects = 0;
 
   bool matched() const { return outcome == PairOutcome::kMatched; }
 };

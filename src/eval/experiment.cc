@@ -165,6 +165,7 @@ EngineConfig Experiment::MakeConfig() const {
   config.grid_shards = params_.grid_shards;
   config.ingest_queue_depth = params_.ingest_queue_depth;
   config.signature_filter = params_.signature_filter;
+  config.sig_width = params_.sig_width;
   config.maintain_shards = params_.maintain_shards;
   config.sched_threads = params_.sched_threads;
   config.repo_backend = params_.repo_backend;

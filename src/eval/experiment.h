@@ -42,6 +42,10 @@ struct ExperimentParams {
   /// Signature-bounded Jaccard kernel inside refinement (on by default;
   /// results are bit-identical either way, only merge work is skipped).
   bool signature_filter = true;
+  /// Token-signature width in bits (64 / 128 / 256, DESIGN.md §11). Any
+  /// width produces bit-identical matches and outcome stats; wider
+  /// signatures reject more merges on long token sets.
+  int sig_width = 64;
   /// MaintainPhase grid fan-out (> 1 = per-shard insert/remove on the grid
   /// pool; identical output for every setting).
   int maintain_shards = 1;

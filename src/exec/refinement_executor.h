@@ -17,10 +17,20 @@ namespace terids {
 /// tuple state and the repository, so pairs shard freely across workers.
 ///
 /// Determinism contract: `Run` fills `evaluations[i]` for `tasks[i]` — each
-/// worker owns a disjoint contiguous shard of the task array and writes
-/// only its own slots, so the result is independent of scheduling. The
-/// caller folds the per-pair evaluations into PruneStats / the match set in
-/// task (candidate) order, which reproduces the sequential loop exactly.
+/// worker owns a disjoint set of evaluation slots and writes only those, so
+/// the result is independent of scheduling. The caller folds the per-pair
+/// evaluations into PruneStats / the match set in task (candidate) order,
+/// which reproduces the sequential loop exactly.
+///
+/// Before fanning out, the parallel path runs the batched signature
+/// prefilter (SigFilterCandidates, DESIGN.md §11): one SoA popcount sweep
+/// over the candidate list classifies tasks as merge-capable ("heavy") or
+/// provably merge-free ("light" — topic-killed or signature-rejected
+/// single-instance pairs), and heavy tasks are sharded finely while light
+/// ones go into 8x coarser shards. The prefilter decides placement only —
+/// every task still runs the unchanged Evaluate — so outputs and stats are
+/// bit-identical with the prefilter active, inactive (signature_filter
+/// off), or on the sequential path (which never runs it).
 class RefinementExecutor {
  public:
   /// One pair to evaluate: an arriving probe tuple against one window

@@ -13,32 +13,68 @@ namespace terids {
 /// Flat, allocation-free primitives behind every Jaccard evaluation: sorted
 /// token spans (raw pointer + length, as stored by TokenArena), set
 /// intersection (linear merge for balanced sizes, galloping for skewed
-/// ones), and the 64-bit hashed-bitmap signature whose popcount yields an
-/// O(1) upper bound on intersection size. All kernels are exact or sound:
-/// the two intersection algorithms return identical counts, and the
-/// signature bound is always >= the exact intersection size — it can only
-/// skip merges whose verdict is already decided, never change one.
+/// ones), and the hashed-bitmap signature whose popcount yields an O(1)
+/// upper bound on intersection size. Signatures are width-parameterized
+/// (64 / 128 / 256 bits, stored as `uint64_t words[bits/64]`, DESIGN.md
+/// §11): wider bitmaps saturate later on long token sets, tightening the
+/// bound. All kernels are exact or sound: the two intersection algorithms
+/// return identical counts, and the signature bound is always >= the exact
+/// intersection size at every width — it can only skip merges whose verdict
+/// is already decided, never change one.
 
 /// Spans whose larger side is at least this many times the smaller one are
 /// intersected by galloping instead of the linear merge: the merge is
 /// O(n + m) while galloping is O(n log m), which wins once m >> n.
 inline constexpr size_t kGallopSkewRatio = 8;
 
-/// Bit index of one token in the 64-bit signature: the top 6 bits of a
-/// Fibonacci-style multiplicative hash. Tokens are dense dictionary ids, so
-/// taking low bits directly would alias consecutive ids into runs; the
-/// multiply spreads them uniformly.
-inline int SignatureBit(Token t) {
-  const uint64_t h = static_cast<uint64_t>(t) * UINT64_C(0x9E3779B97F4A7C15);
-  return static_cast<int>(h >> 58);
+/// The supported signature widths and their word counts. 64 is the PR-5
+/// layout and the equivalence oracle; 128/256 trade 1-3 extra words per
+/// range for a tighter bound on long token sets.
+inline constexpr int kMaxSigBits = 256;
+inline constexpr int kMaxSigWords = kMaxSigBits / 64;
+
+inline constexpr bool ValidSigBits(int sig_bits) {
+  return sig_bits == 64 || sig_bits == 128 || sig_bits == 256;
+}
+inline constexpr int SigWords(int sig_bits) { return sig_bits / 64; }
+
+/// The one multiplicative-hash constant behind every signature bit, hoisted
+/// so the kernel, the arena build, and the tests can never drift apart
+/// (2^64 / phi — the Fibonacci hashing multiplier).
+inline constexpr uint64_t kSigHashMul = UINT64_C(0x9E3779B97F4A7C15);
+
+/// Bit index of one token in a width-`sig_bits` signature: the top
+/// log2(sig_bits) bits of the multiplicative hash (shift 58 / 57 / 56 for
+/// 64 / 128 / 256). Tokens are dense dictionary ids, so taking low bits
+/// directly would alias consecutive ids into runs; the multiply spreads
+/// them uniformly. Because the widths share one hash, the 64-bit index is
+/// the 256-bit index >> 2: every narrower signature is an exact OR-
+/// coarsening of the wider one (what makes saturation monotone in width).
+inline int SignatureBit(Token t, int sig_bits) {
+  const uint64_t h = static_cast<uint64_t>(t) * kSigHashMul;
+  const int shift = sig_bits == 64 ? 58 : sig_bits == 128 ? 57 : 56;
+  return static_cast<int>(h >> shift);
+}
+inline int SignatureBit(Token t) { return SignatureBit(t, 64); }
+
+/// Builds the width-`sig_bits` hashed-bitmap signature of a sorted,
+/// deduplicated token span into `out[0 .. SigWords(sig_bits))`.
+inline void BuildTokenSignature(const Token* tokens, size_t n, int sig_bits,
+                                uint64_t* out) {
+  const int words = SigWords(sig_bits);
+  for (int w = 0; w < words; ++w) {
+    out[w] = 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int bit = SignatureBit(tokens[i], sig_bits);
+    out[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
 }
 
-/// Hashed-bitmap signature of a sorted, deduplicated token span.
+/// The 64-bit signature as a single word (the width-64 special case).
 inline uint64_t TokenSignature(const Token* tokens, size_t n) {
   uint64_t sig = 0;
-  for (size_t i = 0; i < n; ++i) {
-    sig |= uint64_t{1} << SignatureBit(tokens[i]);
-  }
+  BuildTokenSignature(tokens, n, 64, &sig);
   return sig;
 }
 
@@ -61,38 +97,78 @@ inline size_t IntersectSize(const Token* a, size_t na, const Token* b,
   return IntersectLinear(a, na, b, nb);
 }
 
-/// Signature-based upper bound on |A ∩ B|, given the exact set sizes and
-/// the two signatures. Any common token sets the same bit in both
-/// signatures, so disjoint signatures prove an empty intersection outright.
-/// Otherwise, let c = popcount(sa & sb) and d_A = popcount(sa): every bit
-/// set in sa but not in sb is occupied by at least one token of A that
-/// cannot be in B (B has no token hashing there), so at least d_A - c
-/// tokens of A are outside the intersection and
-/// |A ∩ B| <= |A| - (d_A - c); symmetrically for B. Both are also <= the
-/// trivial min(|A|, |B|) bound because c <= d_A and c <= d_B.
-inline size_t SigIntersectionUpperBound(size_t na, uint64_t sa, size_t nb,
-                                        uint64_t sb) {
-  const uint64_t both = sa & sb;
-  if (both == 0) {
+/// The three popcounts one signature pair reduces to; every bound below is
+/// pure arithmetic over them, so batched (SIMD) and per-pair (scalar) paths
+/// share one definition and stay bit-identical.
+struct SigPopCounts {
+  int common = 0;  // popcount(sa & sb)
+  int a = 0;       // popcount(sa)
+  int b = 0;       // popcount(sb)
+};
+
+inline SigPopCounts SigPopCount(const uint64_t* sa, const uint64_t* sb,
+                                int words) {
+  SigPopCounts p;
+  for (int w = 0; w < words; ++w) {
+    p.common += PopCount64(sa[w] & sb[w]);
+    p.a += PopCount64(sa[w]);
+    p.b += PopCount64(sb[w]);
+  }
+  return p;
+}
+
+/// Signature-based upper bound on |A ∩ B| from the popcounts and exact set
+/// sizes. Any common token sets the same bit in both signatures, so
+/// disjoint signatures prove an empty intersection outright. Otherwise,
+/// let c = popcount(sa & sb) and d_A = popcount(sa): every bit set in sa
+/// but not in sb is occupied by at least one token of A that cannot be in
+/// B (B has no token hashing there), so at least d_A - c tokens of A are
+/// outside the intersection and |A ∩ B| <= |A| - (d_A - c); symmetrically
+/// for B. Both are also <= the trivial min(|A|, |B|) bound because
+/// c <= d_A and c <= d_B.
+inline size_t SigIntersectionUpperBoundFromPops(size_t na, size_t nb,
+                                                const SigPopCounts& p) {
+  if (p.common == 0) {
     return 0;
   }
-  const size_t common = static_cast<size_t>(PopCount64(both));
-  const size_t ub_a = na - static_cast<size_t>(PopCount64(sa)) + common;
-  const size_t ub_b = nb - static_cast<size_t>(PopCount64(sb)) + common;
+  const size_t common = static_cast<size_t>(p.common);
+  const size_t ub_a = na - static_cast<size_t>(p.a) + common;
+  const size_t ub_b = nb - static_cast<size_t>(p.b) + common;
   return std::min(ub_a, ub_b);
 }
 
 /// Upper bound on the Jaccard similarity of two sets from sizes +
-/// signatures alone. Jaccard = i / (|A| + |B| - i) is increasing in i, so
+/// popcounts alone. Jaccard = i / (|A| + |B| - i) is increasing in i, so
 /// substituting the intersection upper bound is sound. Two empty sets have
 /// similarity 1 by convention (mirrors JaccardSimilarity).
-inline double SigJaccardUpperBound(size_t na, uint64_t sa, size_t nb,
-                                   uint64_t sb) {
+inline double SigJaccardUpperBoundFromPops(size_t na, size_t nb,
+                                           const SigPopCounts& p) {
   if (na == 0 && nb == 0) {
     return 1.0;
   }
-  const size_t ub = SigIntersectionUpperBound(na, sa, nb, sb);
+  const size_t ub = SigIntersectionUpperBoundFromPops(na, nb, p);
   return static_cast<double>(ub) / static_cast<double>(na + nb - ub);
+}
+
+/// Width-parameterized bounds over multi-word signatures.
+inline size_t SigIntersectionUpperBound(size_t na, const uint64_t* sa,
+                                        size_t nb, const uint64_t* sb,
+                                        int words) {
+  return SigIntersectionUpperBoundFromPops(na, nb, SigPopCount(sa, sb, words));
+}
+inline double SigJaccardUpperBound(size_t na, const uint64_t* sa, size_t nb,
+                                   const uint64_t* sb, int words) {
+  return SigJaccardUpperBoundFromPops(na, nb, SigPopCount(sa, sb, words));
+}
+
+/// The single-word (width-64) forms the PR-5 call sites and tests use.
+inline size_t SigIntersectionUpperBound(size_t na, uint64_t sa, size_t nb,
+                                        uint64_t sb) {
+  return SigIntersectionUpperBound(na, &sa, nb, &sb, 1);
+}
+inline double SigJaccardUpperBound(size_t na, uint64_t sa, size_t nb,
+                                   uint64_t sb) {
+  return SigJaccardUpperBound(na, &sa, nb, &sb, 1);
 }
 
 /// Exact Jaccard similarity of two sorted spans; bit-identical to
@@ -107,6 +183,51 @@ inline double JaccardFromSpans(const Token* a, size_t na, const Token* b,
   const size_t uni = na + nb - inter;
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
+
+// --- Batched candidate-list filtering (DESIGN.md §11) -----------------------
+
+/// Computes the per-entry signature popcounts (popcount(a), popcount(b),
+/// popcount(a & b)) for `entries` signature pairs laid out contiguously
+/// (entry i occupies sig_a[i*words .. i*words+words)), dispatching to the
+/// widest SIMD implementation the CPU supports — AVX2 on x86-64 (runtime
+/// feature detection, no -mavx2 build flag required), NEON on aarch64 —
+/// unless `force_scalar` or the TERIDS_SIMD=off environment override is
+/// set. Integer popcounts only, so every implementation is bit-identical
+/// to the portable scalar core.
+void SigPopCountBatch(const uint64_t* sig_a, const uint64_t* sig_b,
+                      size_t entries, int words, uint32_t* pa, uint32_t* pb,
+                      uint32_t* pc, bool force_scalar = false);
+
+/// The active SigPopCountBatch dispatch target: "avx2", "neon", or
+/// "scalar" (resolved once at first use; TERIDS_SIMD=off forces scalar).
+const char* SimdDispatchName();
+
+/// One batched filter pass over a candidate list: `num_pairs` rows of `d`
+/// attribute spans each, flattened row-major (lens at [row * d + k],
+/// signature words at [(row * d + k) * SigWords(sig_bits)]). The SoA
+/// layout mirrors the TokenArena's so gathering is a straight copy.
+struct SigFilterBatch {
+  size_t num_pairs = 0;
+  int d = 0;
+  int sig_bits = 64;
+  const uint32_t* len_a = nullptr;
+  const uint32_t* len_b = nullptr;
+  const uint64_t* sig_a = nullptr;
+  const uint64_t* sig_b = nullptr;
+};
+
+/// Runs the signature upper-bound pass over every pair of the batch in one
+/// sweep: row i survives iff the per-attribute Jaccard bounds, summed in
+/// attribute order exactly as InstanceSimilarityExceeds' pass 1 sums them,
+/// exceed `gamma`. Non-survivors are rows pass 1 would certify as
+/// sim <= gamma — provably merge-free. Sets bit i of `survivors` (caller-
+/// allocated, (num_pairs + 63) / 64 words, zeroed here) and returns the
+/// survivor count. The popcount sweep is SIMD-dispatched
+/// (SigPopCountBatch); the double accumulation stays scalar per row in
+/// every implementation, so the decision is bit-identical across scalar,
+/// AVX2, and NEON.
+size_t SigFilterCandidates(const SigFilterBatch& batch, double gamma,
+                           uint64_t* survivors);
 
 }  // namespace terids
 

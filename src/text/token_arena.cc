@@ -4,6 +4,13 @@
 
 namespace terids {
 
+void TokenArena::SetSigBits(int sig_bits) {
+  TERIDS_CHECK(ValidSigBits(sig_bits));
+  TERIDS_CHECK(ranges_.empty());  // widths cannot be mixed within an arena
+  sig_bits_ = sig_bits;
+  words_ = SigWords(sig_bits);
+}
+
 uint32_t TokenArena::AddRange(const std::vector<Token>& tokens) {
   TERIDS_CHECK(tokens_.size() + tokens.size() <=
                static_cast<size_t>(static_cast<uint32_t>(-1)));
@@ -11,7 +18,10 @@ uint32_t TokenArena::AddRange(const std::vector<Token>& tokens) {
   r.offset = static_cast<uint32_t>(tokens_.size());
   r.len = static_cast<uint32_t>(tokens.size());
   tokens_.insert(tokens_.end(), tokens.begin(), tokens.end());
-  r.sig = TokenSignature(tokens_.data() + r.offset, r.len);
+  sigs_.resize(sigs_.size() + static_cast<size_t>(words_));
+  BuildTokenSignature(tokens_.data() + r.offset, r.len, sig_bits_,
+                      sigs_.data() + sigs_.size() -
+                          static_cast<size_t>(words_));
   const uint32_t id = static_cast<uint32_t>(ranges_.size());
   ranges_.push_back(r);
   return id;
@@ -25,6 +35,7 @@ void TokenArena::PushSlot(uint32_t range_id) {
 void TokenArena::Reserve(size_t tokens, size_t ranges, size_t slots) {
   tokens_.reserve(tokens);
   ranges_.reserve(ranges);
+  sigs_.reserve(ranges * static_cast<size_t>(words_));
   slot_ranges_.reserve(slots);
 }
 

@@ -48,7 +48,10 @@ class ImputedTuple {
   };
 
   /// Wraps a complete record as a single-instance tuple with probability 1.
-  static ImputedTuple FromComplete(Record record, const Repository* repo);
+  /// `sig_bits` selects the token-signature width of the tuple's arena
+  /// (EngineConfig::sig_width; 64 = the PR-5 layout and default).
+  static ImputedTuple FromComplete(Record record, const Repository* repo,
+                                   int sig_bits = 64);
 
   /// Builds from an incomplete record plus one candidate distribution per
   /// missing attribute. Attributes of `record` that are missing but have no
@@ -56,7 +59,7 @@ class ImputedTuple {
   /// found no candidates), contributing an empty token set.
   static ImputedTuple FromImputation(Record record, const Repository* repo,
                                      std::vector<ImputedAttr> imputed,
-                                     int max_instances);
+                                     int max_instances, int sig_bits = 64);
 
   const Record& base() const { return base_; }
   int64_t rid() const { return base_.rid; }
@@ -79,9 +82,9 @@ class ImputedTuple {
   const TokenSet& instance_tokens(int inst, int attr) const;
 
   /// Flat arena view of the same token set: contiguous span + precomputed
-  /// 64-bit signature, the representation the refinement kernels read
-  /// (DESIGN.md §9). Bounds-unchecked beyond the slot math — callers are
-  /// the hot path.
+  /// hashed-bitmap signature (token_arena().sig_bits() wide, DESIGN.md §9,
+  /// §11), the representation the refinement kernels read. Bounds-unchecked
+  /// beyond the slot math — callers are the hot path.
   TokenView instance_token_view(int inst, int attr) const {
     return arena_.slot(static_cast<size_t>(inst) *
                            static_cast<size_t>(num_attributes()) +

@@ -185,6 +185,63 @@ TEST_F(EngineBehaviorTest, WindowSizeOneStillWorks) {
   EXPECT_FALSE(engine.results().Contains(1, 2));
 }
 
+TEST_F(EngineBehaviorTest, SigSaturationCountersTrackFilterWork) {
+  // The sig_* PruneStats counters are filter observability: zero with the
+  // filter off; with it on, sig_probes counts the popcount probes of the
+  // refined pairs and is width-invariant (the same instance pairs are
+  // visited at every width because verdicts are width-invariant), while
+  // sig_saturated can only shrink as the width grows (narrower signatures
+  // are OR-coarsenings of wider ones, so a saturated 256-bit signature is
+  // saturated at 64 bits too). Outcome counters never move.
+  const std::vector<std::vector<std::string>> posts = {
+      {"male", "loss of weight", "diabetes", "drug therapy"},
+      {"male", "loss of weight thirst", "diabetes", "drug therapy"},
+      {"male", "blurred vision", "-", "drug therapy"},
+      {"female", "loss of weight", "diabetes", "dietary therapy"},
+      {"male", "fever cough headache", "flu", "drink more"},
+      {"male", "loss of weight", "diabetes", "-"},
+  };
+  auto run = [&](bool sigfilter, int width) {
+    EngineConfig config = config_;
+    config.signature_filter = sigfilter;
+    config.sig_width = width;
+    TerIdsEngine engine(world_.repo.get(), config, 2, rules_);
+    for (size_t i = 0; i < posts.size(); ++i) {
+      engine.ProcessArrival(
+          Post(static_cast<int64_t>(i), static_cast<int>(i % 2), posts[i]));
+    }
+    return engine.cumulative_stats();
+  };
+
+  const PruneStats off = run(false, 64);
+  EXPECT_EQ(off.sig_probes, 0u);
+  EXPECT_EQ(off.sig_saturated, 0u);
+  EXPECT_EQ(off.sig_rejects, 0u);
+  EXPECT_DOUBLE_EQ(off.SigSaturatedPct(), 0.0);
+  EXPECT_GT(off.refined, 0u);  // the stream must actually refine something
+
+  const PruneStats w64 = run(true, 64);
+  const PruneStats w128 = run(true, 128);
+  const PruneStats w256 = run(true, 256);
+  EXPECT_GT(w64.sig_probes, 0u);
+  EXPECT_EQ(w64.sig_probes, w128.sig_probes);
+  EXPECT_EQ(w64.sig_probes, w256.sig_probes);
+  EXPECT_GE(w64.sig_saturated, w128.sig_saturated);
+  EXPECT_GE(w128.sig_saturated, w256.sig_saturated);
+  EXPECT_LE(w64.sig_saturated, w64.sig_probes);
+  EXPECT_GE(w64.SigSaturatedPct(), 0.0);
+  EXPECT_LE(w64.SigSaturatedPct(), 100.0);
+  for (const PruneStats* stats : {&w64, &w128, &w256}) {
+    EXPECT_EQ(stats->total_pairs, off.total_pairs);
+    EXPECT_EQ(stats->topic_pruned, off.topic_pruned);
+    EXPECT_EQ(stats->sim_ub_pruned, off.sim_ub_pruned);
+    EXPECT_EQ(stats->prob_ub_pruned, off.prob_ub_pruned);
+    EXPECT_EQ(stats->instance_pruned, off.instance_pruned);
+    EXPECT_EQ(stats->refined, off.refined);
+    EXPECT_EQ(stats->matched, off.matched);
+  }
+}
+
 TEST_F(EngineBehaviorTest, NoRulesMeansUnimputedButStillRunning) {
   TerIdsEngine engine(world_.repo.get(), config_, 2, /*rules=*/{});
   Record incomplete = Post(1, 0, {"male", "loss of weight", "-", "-"});

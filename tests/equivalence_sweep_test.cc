@@ -8,13 +8,13 @@
 //    parameters rather than a single configuration.
 // 2. Across every datagen profile and (batch_size, refine_threads,
 //    grid_shards, ingest_queue_depth, maintain_shards, signature_filter,
-//    sched_threads) combination, the batched / parallel / sharded-grid /
-//    async-ingest operator (ProcessStream over ProcessBatch +
-//    RefinementExecutor + ShardedErGrid + BatchQueue, dispatched either on
-//    the legacy per-subsystem pools or the unified Scheduler) must be
-//    bit-identical to one-at-a-time ProcessArrival: same per-arrival
-//    matches in the same order, same final MatchSet, same cumulative
-//    PruneStats.
+//    sched_threads, sig_width) combination, the batched / parallel /
+//    sharded-grid / async-ingest operator (ProcessStream over ProcessBatch
+//    + RefinementExecutor + ShardedErGrid + BatchQueue, dispatched either
+//    on the legacy per-subsystem pools or the unified Scheduler, with
+//    signatures at any supported width) must be bit-identical to
+//    one-at-a-time ProcessArrival: same per-arrival matches in the same
+//    order, same final MatchSet, same cumulative PruneStats.
 
 #include <gtest/gtest.h>
 
@@ -84,9 +84,9 @@ INSTANTIATE_TEST_SUITE_P(
 // --- Batched / parallel / sharded / async operator equivalence -------------
 
 // profile, batch, refine_threads, grid_shards, ingest_queue_depth,
-// maintain_shards, signature_filter, sched_threads
+// maintain_shards, signature_filter, sched_threads, sig_width
 using BatchCombo =
-    std::tuple<std::string, int, int, int, int, int, bool, int>;
+    std::tuple<std::string, int, int, int, int, int, bool, int, int>;
 
 class BatchEquivalenceSweepTest
     : public ::testing::TestWithParam<BatchCombo> {};
@@ -97,6 +97,10 @@ struct ReplayResult {
   PruneStats stats;
 };
 
+// Deliberately compares only the outcome counters: the sig_* observability
+// counters (sig_probes / sig_saturated / sig_rejects) legitimately vary
+// with signature_filter and sig_width — they count filter work, not
+// results — so they are excluded from the bit-identity contract.
 void ExpectSameStats(const PruneStats& a, const PruneStats& b) {
   EXPECT_EQ(a.total_pairs, b.total_pairs);
   EXPECT_EQ(a.topic_pruned, b.topic_pruned);
@@ -109,7 +113,8 @@ void ExpectSameStats(const PruneStats& a, const PruneStats& b) {
 
 TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
   const auto [profile, batch_size, refine_threads, grid_shards, queue_depth,
-              maintain_shards, signature_filter, sched_threads] = GetParam();
+              maintain_shards, signature_filter, sched_threads, sig_width] =
+      GetParam();
   ExperimentParams params;
   // Per-profile scale mirrors bench::BaseParams ratios: EBooks (long token
   // sets) and Songs (the 1M-tuple dataset) blow up wall time at a uniform
@@ -130,7 +135,7 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
   for (PipelineKind kind :
        {PipelineKind::kTerIds, PipelineKind::kConstraintEr}) {
     auto replay = [&](int bs, int threads, int shards, int queue,
-                      int maintain, bool sigfilter, int sched) {
+                      int maintain, bool sigfilter, int sched, int width) {
       std::unique_ptr<Repository> repo = experiment.BuildRepository();
       EngineConfig config = experiment.MakeConfig();
       config.batch_size = bs;
@@ -140,6 +145,7 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
       config.maintain_shards = maintain;
       config.signature_filter = sigfilter;
       config.sched_threads = sched;
+      config.sig_width = width;
       std::unique_ptr<ErPipeline> pipeline =
           MakePipeline(kind, repo.get(), config, 2, experiment.cdds(),
                        experiment.dds(), experiment.editing_rules());
@@ -168,18 +174,20 @@ TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
     };
 
     // The oracle is the seed configuration: one-at-a-time, single shard,
-    // serial maintain, signature filter off (plain merges everywhere),
-    // legacy per-pool execution (no scheduler).
-    const ReplayResult sequential = replay(1, 1, 1, 0, /*maintain=*/1,
-                                           /*sigfilter=*/false, /*sched=*/0);
+    // serial maintain, signature filter off (plain merges everywhere) at
+    // the seed's 64-bit width, legacy per-pool execution (no scheduler).
+    const ReplayResult sequential =
+        replay(1, 1, 1, 0, /*maintain=*/1, /*sigfilter=*/false, /*sched=*/0,
+               /*width=*/64);
     const ReplayResult batched =
         replay(batch_size, refine_threads, grid_shards, queue_depth,
-               maintain_shards, signature_filter, sched_threads);
+               maintain_shards, signature_filter, sched_threads, sig_width);
     EXPECT_EQ(batched.emitted, sequential.emitted)
         << profile << " " << PipelineKindName(kind) << " batch=" << batch_size
         << " threads=" << refine_threads << " shards=" << grid_shards
         << " queue=" << queue_depth << " maintain=" << maintain_shards
-        << " sigfilter=" << signature_filter << " sched=" << sched_threads;
+        << " sigfilter=" << signature_filter << " sched=" << sched_threads
+        << " width=" << sig_width;
     ASSERT_EQ(batched.final_set.size(), sequential.final_set.size());
     for (size_t i = 0; i < batched.final_set.size(); ++i) {
       EXPECT_EQ(batched.final_set[i].rid_a, sequential.final_set[i].rid_a);
@@ -275,48 +283,64 @@ std::vector<BatchCombo> BatchCombos() {
     // sigfilter-off oracle)...
     for (const auto& [batch, threads] :
          std::vector<std::pair<int, int>>{{1, 4}, {8, 1}, {8, 4}}) {
-      combos.emplace_back(profile, batch, threads, 1, 0, 1, true, 0);
+      combos.emplace_back(profile, batch, threads, 1, 0, 1, true, 0, 64);
     }
     // ...plus the everything-on configuration per profile, once on the
     // legacy per-subsystem pools and once on the unified scheduler: sharded
     // grid + async ingest + parallel refinement + parallel maintain +
-    // signature filter (the TSan job's main data-race surface).
-    combos.emplace_back(profile, 8, 4, 4, 2, 4, true, 0);
-    combos.emplace_back(profile, 8, 4, 4, 2, 4, true, 4);
+    // signature filter (the TSan job's main data-race surface). The two
+    // runs split the wide-signature coverage between them: every profile
+    // replays everything-on at both 128 and 256 bits against the 64-bit
+    // sigfilter-off oracle.
+    combos.emplace_back(profile, 8, 4, 4, 2, 4, true, 0, 128);
+    combos.emplace_back(profile, 8, 4, 4, 2, 4, true, 4, 256);
   }
   // Full shards x queue x threads cross on one profile (the acceptance
   // matrix): isolates each new axis against the sequential oracle.
-  combos.emplace_back("Citations", 8, 1, 4, 0, 1, true, 0);
-  combos.emplace_back("Citations", 8, 4, 4, 0, 1, true, 0);
-  combos.emplace_back("Citations", 8, 1, 1, 2, 1, true, 0);
-  combos.emplace_back("Citations", 8, 4, 1, 2, 1, true, 0);
-  combos.emplace_back("Citations", 8, 1, 4, 2, 1, true, 0);
-  combos.emplace_back("Citations", 1, 1, 4, 2, 1, true, 0);  // async, batch 1
+  combos.emplace_back("Citations", 8, 1, 4, 0, 1, true, 0, 64);
+  combos.emplace_back("Citations", 8, 4, 4, 0, 1, true, 0, 64);
+  combos.emplace_back("Citations", 8, 1, 1, 2, 1, true, 0, 64);
+  combos.emplace_back("Citations", 8, 4, 1, 2, 1, true, 0, 64);
+  combos.emplace_back("Citations", 8, 1, 4, 2, 1, true, 0, 64);
+  // async, batch 1
+  combos.emplace_back("Citations", 1, 1, 4, 2, 1, true, 0, 64);
   // Maintain-shard and signature-filter axes in isolation: parallel
   // maintain with everything else sequential, the sig filter both ways,
   // and parallel maintain under async ingest (maintain fan-out runs on the
   // ingest thread there).
-  combos.emplace_back("Citations", 1, 1, 4, 0, 4, false, 0);
-  combos.emplace_back("Citations", 1, 1, 4, 0, 4, true, 0);
-  combos.emplace_back("Citations", 8, 4, 4, 0, 4, false, 0);
-  combos.emplace_back("Citations", 8, 4, 4, 2, 4, false, 0);
-  combos.emplace_back("Bikes", 8, 4, 4, 2, 4, false, 0);
+  combos.emplace_back("Citations", 1, 1, 4, 0, 4, false, 0, 64);
+  combos.emplace_back("Citations", 1, 1, 4, 0, 4, true, 0, 64);
+  combos.emplace_back("Citations", 8, 4, 4, 0, 4, false, 0, 64);
+  combos.emplace_back("Citations", 8, 4, 4, 2, 4, false, 0, 64);
+  combos.emplace_back("Bikes", 8, 4, 4, 2, 4, false, 0, 64);
   // Unified-scheduler axes in isolation (Citations): scheduler constructed
   // but no phase fans out; each phase fanning out alone on the shared
   // workers (refine / candidate probe / maintain / the kIngest chain); the
   // single-worker and two-worker edges of the caller-participation
   // discipline under the everything-on load; and sigfilter-off + scheduler
   // against the sigfilter-off oracle.
-  combos.emplace_back("Citations", 1, 1, 1, 0, 1, true, 4);
-  combos.emplace_back("Citations", 8, 4, 1, 0, 1, true, 4);
-  combos.emplace_back("Citations", 1, 1, 4, 0, 1, true, 4);
-  combos.emplace_back("Citations", 1, 1, 4, 0, 4, true, 4);
-  combos.emplace_back("Citations", 8, 1, 1, 2, 1, true, 4);
-  combos.emplace_back("Citations", 1, 1, 4, 2, 1, true, 4);  // chain, batch 1
-  combos.emplace_back("Citations", 8, 4, 4, 2, 4, true, 1);
-  combos.emplace_back("Citations", 8, 4, 4, 2, 4, true, 2);
-  combos.emplace_back("Citations", 8, 4, 4, 2, 4, false, 4);
-  combos.emplace_back("Bikes", 8, 4, 4, 2, 4, false, 4);
+  combos.emplace_back("Citations", 1, 1, 1, 0, 1, true, 4, 64);
+  combos.emplace_back("Citations", 8, 4, 1, 0, 1, true, 4, 64);
+  combos.emplace_back("Citations", 1, 1, 4, 0, 1, true, 4, 64);
+  combos.emplace_back("Citations", 1, 1, 4, 0, 4, true, 4, 64);
+  combos.emplace_back("Citations", 8, 1, 1, 2, 1, true, 4, 64);
+  // chain, batch 1
+  combos.emplace_back("Citations", 1, 1, 4, 2, 1, true, 4, 64);
+  combos.emplace_back("Citations", 8, 4, 4, 2, 4, true, 1, 64);
+  combos.emplace_back("Citations", 8, 4, 4, 2, 4, true, 2, 64);
+  combos.emplace_back("Citations", 8, 4, 4, 2, 4, false, 4, 64);
+  combos.emplace_back("Bikes", 8, 4, 4, 2, 4, false, 4, 64);
+  // sig_width axis in isolation (Citations, everything else sequential):
+  // wide signatures + filter against the 64-bit sigfilter-off oracle, plus
+  // a sigfilter-off run at 256 bits (widths must be inert with the filter
+  // off). The parallel-refinement combos additionally route the wide
+  // widths through the executor's batched prefilter.
+  combos.emplace_back("Citations", 1, 1, 1, 0, 1, true, 0, 128);
+  combos.emplace_back("Citations", 1, 1, 1, 0, 1, true, 0, 256);
+  combos.emplace_back("Citations", 1, 1, 1, 0, 1, false, 0, 256);
+  combos.emplace_back("Citations", 1, 4, 1, 0, 1, true, 0, 256);
+  combos.emplace_back("Citations", 8, 4, 1, 0, 1, true, 0, 128);
+  combos.emplace_back("EBooks", 8, 4, 1, 0, 1, true, 0, 256);
   return combos;
 }
 
@@ -336,7 +360,9 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, BatchEquivalenceSweepTest,
                                   (std::get<6>(info.param) ? "_sig1"
                                                            : "_sig0") +
                                   "_c" +
-                                  std::to_string(std::get<7>(info.param));
+                                  std::to_string(std::get<7>(info.param)) +
+                                  "_w" +
+                                  std::to_string(std::get<8>(info.param));
                          });
 
 }  // namespace
