@@ -70,6 +70,21 @@ RepoBackend EnvRepoBackend() {
   return backend;
 }
 
+SnapshotDecode EnvSnapshotDecode() {
+  const char* env = std::getenv("TERIDS_BENCH_SNAPDECODE");
+  SnapshotDecode decode = SnapshotDecode::kLazy;
+  if (env == nullptr || env[0] == '\0') {
+    return decode;
+  }
+  if (!ParseSnapshotDecode(env, &decode)) {
+    std::fprintf(stderr,
+                 "TERIDS_BENCH_SNAPDECODE: '%s' is not a decode mode "
+                 "(expected 'lazy' or 'eager'); using default 'lazy'\n",
+                 env);
+  }
+  return decode;
+}
+
 int EnvSigWidth() {
   const int v = EnvInt("TERIDS_BENCH_SIGWIDTH", 64, 64);
   if (v != 64 && v != 128 && v != 256) {
@@ -95,6 +110,7 @@ ExecKnobs EnvExecKnobs() {
   knobs.maintain_shards = EnvInt("TERIDS_BENCH_MAINTAIN", 1, 1);
   knobs.sched_threads = EnvInt("TERIDS_BENCH_SCHED", 0, 0);
   knobs.repo_backend = EnvRepoBackend();
+  knobs.snapshot_decode = EnvSnapshotDecode();
   return knobs;
 }
 
@@ -120,6 +136,7 @@ ExperimentParams BaseParams(const std::string& dataset) {
   params.maintain_shards = knobs.maintain_shards;
   params.sched_threads = knobs.sched_threads;
   params.repo_backend = knobs.repo_backend;
+  params.snapshot_decode = knobs.snapshot_decode;
   return params;
 }
 
@@ -218,7 +235,8 @@ JsonReporter::Row& JsonReporter::AddKnobRow(const ExecKnobs& knobs) {
       .Num("sig_width", knobs.sig_width)
       .Num("maintain_shards", knobs.maintain_shards)
       .Num("sched_threads", knobs.sched_threads)
-      .Str("repo_backend", RepoBackendName(knobs.repo_backend));
+      .Str("repo_backend", RepoBackendName(knobs.repo_backend))
+      .Str("snapshot_decode", SnapshotDecodeName(knobs.snapshot_decode));
 }
 
 JsonReporter::~JsonReporter() {
@@ -245,13 +263,14 @@ void PrintHeader(const std::string& figure, const std::string& title,
       "defaults (Table 5, scaled): alpha=%.1f rho=%.1f xi=%.1f eta=%.1f "
       "w=%d m=%d scale=%.3f arrivals=%d bench_scale=%.2f batch=%d "
       "threads=%d shards=%d queue=%d sigfilter=%d sigwidth=%d maintain=%d "
-      "sched=%d repo=%s\n",
+      "sched=%d repo=%s snapdecode=%s\n",
       params.alpha, params.rho, params.xi, params.eta, params.w, params.m,
       params.scale, params.max_arrivals, EnvScale(), params.batch_size,
       params.refine_threads, params.grid_shards, params.ingest_queue_depth,
       params.signature_filter ? 1 : 0, params.sig_width,
       params.maintain_shards, params.sched_threads,
-      RepoBackendName(params.repo_backend));
+      RepoBackendName(params.repo_backend),
+      SnapshotDecodeName(params.snapshot_decode));
 }
 
 namespace {

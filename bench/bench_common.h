@@ -34,8 +34,10 @@ int EnvInt(const char* name, int fallback, int min_value);
 /// grid maintenance), TERIDS_BENCH_SCHED (sched_threads, default 0 =
 /// legacy per-subsystem pools; >= 1 = the unified scheduler's worker
 /// count), the token-signature width from TERIDS_BENCH_SIGWIDTH (64 | 128
-/// | 256, default 64; DESIGN.md §11), and the repository storage backend
-/// from TERIDS_BENCH_REPO_BACKEND ("memory" | "mmap", default memory).
+/// | 256, default 64; DESIGN.md §11), the repository storage backend from
+/// TERIDS_BENCH_REPO_BACKEND ("memory" | "mmap", default memory), and the
+/// v2 snapshot decode mode from TERIDS_BENCH_SNAPDECODE ("lazy" | "eager",
+/// default lazy; mmap backend only).
 /// Every bench that replays arrivals through Experiment::Run inherits them
 /// via BaseParams, so any figure can be reproduced under micro-batching,
 /// parallel refinement, grid sharding, async ingest, the signature filter
@@ -51,6 +53,7 @@ struct ExecKnobs {
   int maintain_shards = 1;
   int sched_threads = 0;
   RepoBackend repo_backend = RepoBackend::kInMemory;
+  SnapshotDecode snapshot_decode = SnapshotDecode::kLazy;
 };
 ExecKnobs EnvExecKnobs();
 

@@ -8,20 +8,35 @@
 // random read workloads — point lookups (pivot_distance / value_tokens /
 // FindValue) and sorted-coordinate range scans — against both backends,
 // with the in-memory results as the correctness oracle. Section 3 runs the
-// full TER-iDS pipeline end to end per backend. Expected shape: the mmap
+// full TER-iDS pipeline end to end per backend. Section 4 is the cold-open
+// study: the same repository written as a v1 and a v2 snapshot file, opened
+// v1-eager / v2-eager / v2-lazy, measuring open latency, time to first
+// arrival (engine construction + one record, where lazy decode pays its
+// deferred cost), and resident-set growth — with a fresh-reopen read oracle
+// proving every mode serves identical bytes. Expected shape: the mmap
 // backend pays a small indirection/merge overhead on reads in exchange for
 // a build-once file whose geometry tables live in the page cache instead
-// of the heap.
+// of the heap, and the v2 lazy open is orders of magnitude faster than any
+// eager open because it touches only the header + section TOC.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "bench_common.h"
+#include "core/pipeline.h"
 #include "datagen/profiles.h"
 #include "repo/repository.h"
+#include "repo/snapshot_format.h"
 #include "repo/snapshot_writer.h"
+#include "stream/stream_driver.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -113,6 +128,25 @@ long FileSizeBytes(const std::string& path) {
   const long size = std::ftell(f);
   std::fclose(f);
   return size;
+}
+
+/// VmRSS from /proc/self/status in kB, or -1 where unavailable (non-Linux);
+/// RSS columns then report 0 deltas rather than garbage.
+long CurrentRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %ld", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+long RssDeltaKb(long before, long after) {
+  if (before < 0 || after < 0) return 0;
+  return after > before ? after - before : 0;
 }
 
 }  // namespace
@@ -239,11 +273,120 @@ int main() {
         .Num("matches", static_cast<double>(run.final_result_size));
   }
 
+  // --- Section 4: cold open across format versions + decode modes --------
+  // The same repository written as v1 (monolithic payload, decoded at open)
+  // and v2 (section TOC, lazily decodable). Per mode: open latency, time to
+  // first arrival (engine construction + one record — where lazy decode
+  // pays for the sections the engine actually touches), and RSS growth.
+  const std::string v1_path = UniqueSnapshotPath("terids-bench-cold-v1");
+  const std::string v2_path = UniqueSnapshotPath("terids-bench-cold-v2");
+  if (!WriteRepositorySnapshot(*memory, v1_path, snapshot::kVersionEager)
+           .ok() ||
+      !WriteRepositorySnapshot(*memory, v2_path, snapshot::kVersion).ok()) {
+    std::fprintf(stderr, "FATAL: cold-open snapshot write failed\n");
+    return 1;
+  }
+  const ReadStats cold_oracle = MeasureReads(*memory, workload, 1);
+
+  struct ColdMode {
+    const char* name;
+    const std::string* path;
+    SnapshotDecode decode;
+  };
+  const ColdMode cold_modes[] = {
+      {"v1-eager", &v1_path, SnapshotDecode::kEager},
+      {"v2-eager", &v2_path, SnapshotDecode::kEager},
+      {"v2-lazy", &v2_path, SnapshotDecode::kLazy},
+  };
+  std::printf("\n-- cold open: %ld-byte v1 file, %ld-byte v2 file --\n",
+              FileSizeBytes(v1_path), FileSizeBytes(v2_path));
+  std::printf("%-9s %12s %18s %13s %16s\n", "mode", "open_ms",
+              "first_arrival_ms", "rss_open_kb", "rss_arrival_kb");
+  double cold_open_ms[3] = {0.0, 0.0, 0.0};
+  for (int i = 0; i < 3; ++i) {
+    const ColdMode& mode = cold_modes[i];
+#if defined(__GLIBC__)
+    // Return freed heap from the previous mode to the OS so this mode's
+    // RSS delta measures its own materialization, not allocator reuse.
+    malloc_trim(0);
+#endif
+    const long rss_before = CurrentRssKb();
+    Stopwatch cold_watch;
+    Result<std::unique_ptr<Repository>> cold = Repository::OpenSnapshot(
+        &memory->schema(), &memory->dict(), *mode.path, mode.decode);
+    cold_open_ms[i] = 1e3 * cold_watch.ElapsedSeconds();
+    if (!cold.ok()) {
+      std::fprintf(stderr, "FATAL: cold open (%s) failed: %s\n", mode.name,
+                   cold.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<Repository> cold_repo = std::move(cold).value();
+    const long rss_open = CurrentRssKb();
+
+    // Time to first arrival: build the TER-iDS engine over the cold
+    // repository and push one record through it.
+    Stopwatch arrival_watch;
+    std::unique_ptr<ErPipeline> pipeline = MakePipeline(
+        PipelineKind::kTerIds, cold_repo.get(), experiment.MakeConfig(),
+        /*num_streams=*/2, experiment.cdds(), experiment.dds(),
+        experiment.editing_rules());
+    StreamDriver driver(
+        {experiment.dataset().source_a, experiment.dataset().source_b});
+    pipeline->ProcessStream(&driver, /*max_arrivals=*/1, /*batch_size=*/1,
+                            [](ArrivalOutcome&&) {});
+    const double first_arrival_ms = 1e3 * arrival_watch.ElapsedSeconds();
+    const long rss_arrival = CurrentRssKb();
+
+    // Identical-output oracle on a *fresh* open of the same file+mode: the
+    // read sweep forces a full decode, so running it on the measured
+    // instance would contaminate nothing, but the pipeline above registered
+    // stream values into that instance's overlay — a pristine reopen keeps
+    // the comparison byte-for-byte against the in-memory build.
+    Result<std::unique_ptr<Repository>> recheck = Repository::OpenSnapshot(
+        &memory->schema(), &memory->dict(), *mode.path, mode.decode);
+    if (!recheck.ok() ||
+        MeasureReads(*recheck.value(), workload, 1).checksum !=
+            cold_oracle.checksum) {
+      std::fprintf(stderr, "FATAL: %s cold open read different data\n",
+                   mode.name);
+      return 1;
+    }
+
+    const double speedup =
+        cold_open_ms[0] / std::max(cold_open_ms[i], 1e-6);
+    std::printf("%-9s %12.4f %18.4f %13ld %16ld\n", mode.name,
+                cold_open_ms[i], first_arrival_ms,
+                RssDeltaKb(rss_before, rss_open),
+                RssDeltaKb(rss_before, rss_arrival));
+    std::fflush(stdout);
+    ExecKnobs knobs = env_knobs;
+    knobs.repo_backend = RepoBackend::kMmapSnapshot;
+    knobs.snapshot_decode = mode.decode;
+    reporter.AddKnobRow(knobs)
+        .Str("section", "cold_open")
+        .Str("dataset", dataset)
+        .Str("mode", mode.name)
+        .Num("cold_open_ms", cold_open_ms[i])
+        .Num("first_arrival_ms", first_arrival_ms)
+        .Num("rss_open_delta_kb",
+             static_cast<double>(RssDeltaKb(rss_before, rss_open)))
+        .Num("rss_first_arrival_delta_kb",
+             static_cast<double>(RssDeltaKb(rss_before, rss_arrival)))
+        .Num("speedup_vs_v1_eager", speedup);
+  }
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  std::printf("cold-open speedup, v2-lazy over v1-eager: %.1fx\n",
+              cold_open_ms[0] / std::max(cold_open_ms[2], 1e-6));
+
   std::printf(
       "\nexpected shape: snapshot write + mmap open amortize to near-zero\n"
       "against repeated runs (the file is build-once); point lookups pay a\n"
       "branch for the base/overlay split and range scans a two-way merge,\n"
       "so mmap reads trail memory slightly while every byte returned is\n"
-      "identical — the oracle checks enforce it.\n");
+      "identical — the oracle checks enforce it. The v2 lazy cold open\n"
+      "validates only the header + TOC, so its open latency is independent\n"
+      "of snapshot size and its RSS grows only for sections actually\n"
+      "touched.\n");
   return 0;
 }

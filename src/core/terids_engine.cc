@@ -70,7 +70,7 @@ uint64_t TerIdsEngine::DeterminantSignature(const Record& r,
     }
     h = Fnv1aMix(h, static_cast<uint64_t>(static_cast<uint32_t>(a)) |
                         (1ULL << 32));
-    for (Token t : value.tokens.tokens()) {
+    for (Token t : value.tokens) {
       h = Fnv1aMix(h, static_cast<uint64_t>(static_cast<uint32_t>(t)));
     }
   }

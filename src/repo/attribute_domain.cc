@@ -8,7 +8,7 @@ uint64_t AttributeDomain::HashTokens(const TokenSet& tokens) {
   // FNV-1a over the sorted token ids; collisions are resolved by the
   // multimap probe in Find/FindOrAdd.
   uint64_t h = kFnv1aOffsetBasis;
-  for (Token t : tokens.tokens()) {
+  for (Token t : tokens) {
     h = Fnv1aMix(h, t);
   }
   return h;

@@ -20,7 +20,7 @@ const TokenSet& InMemoryStorage::value_tokens(int attr, ValueId id) const {
   return domains_[attr].tokens(id);
 }
 
-const std::string& InMemoryStorage::value_text(int attr, ValueId id) const {
+std::string_view InMemoryStorage::value_text(int attr, ValueId id) const {
   TERIDS_CHECK(attr >= 0 && attr < num_attributes_);
   return domains_[attr].text(id);
 }

@@ -24,7 +24,7 @@ class InMemoryStorage final : public RepoStorage {
 
   size_t domain_size(int attr) const override;
   const TokenSet& value_tokens(int attr, ValueId id) const override;
-  const std::string& value_text(int attr, ValueId id) const override;
+  std::string_view value_text(int attr, ValueId id) const override;
   int value_frequency(int attr, ValueId id) const override;
   ValueId FindValue(int attr, const TokenSet& tokens) const override;
 

@@ -1,10 +1,11 @@
 #include "repo/mmap_snapshot_storage.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
-
-#include "repo/snapshot_format.h"
+#include <iostream>
+#include <limits>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define TERIDS_HAVE_MMAP 1
@@ -15,6 +16,44 @@
 #endif
 
 namespace terids {
+
+namespace {
+
+Status Truncated() {
+  return Status::InvalidArgument("snapshot payload ran short while parsing");
+}
+
+/// Token runs are stored sorted + deduplicated (TokenSet invariant); the
+/// lazy reader serves them as zero-copy views, so a malformed run must be
+/// rejected here rather than healed — every merge/intersection kernel
+/// downstream assumes strict ascending order.
+Status ValidateTokenRun(const Token* run, size_t n, uint64_t dict_tokens,
+                        const char* what) {
+  for (size_t i = 0; i < n; ++i) {
+    if (run[i] >= dict_tokens) {
+      return Status::FailedPrecondition(
+          "snapshot token id outside the dictionary it was built with");
+    }
+    if (i > 0 && run[i] <= run[i - 1]) {
+      return Status::InvalidArgument(std::string("snapshot ") + what +
+                                     " token run not sorted/deduplicated");
+    }
+  }
+  return Status::Ok();
+}
+
+/// A section that passed open-time TOC validation failed its own checksum
+/// or structure check on first touch: the file corrupted underneath a
+/// running engine. There is no caller to return a Status to — every read
+/// accessor would have to become fallible — so this is fatal, mirroring
+/// what a wild pointer into the lost data would soon be anyway.
+[[noreturn]] void DieOnFirstTouchFailure(const Status& status) {
+  std::cerr << "FATAL: snapshot first-touch decode failed: "
+            << status.ToString() << std::endl;
+  std::abort();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Mapping
@@ -77,101 +116,119 @@ void MmapSnapshotStorage::Unmap() {
 #endif
   data_ = nullptr;
   size_ = 0;
+  payload_ = nullptr;
+  payload_len_ = 0;
 }
 
 MmapSnapshotStorage::~MmapSnapshotStorage() { Unmap(); }
 
 // ---------------------------------------------------------------------------
-// Parsing
+// Shared block parsers (v1 payload blocks == v2 section bodies)
 // ---------------------------------------------------------------------------
 
-Status MmapSnapshotStorage::Parse(int num_attributes, const TokenDict* dict) {
-  if (size_ < sizeof(snapshot::Header)) {
-    return Status::InvalidArgument("snapshot smaller than its header");
+Status MmapSnapshotStorage::ParseDomainBlock(snapshot::Cursor* cur, int attr,
+                                             uint64_t* dom_size_out) const {
+  BaseDomain& dom = base_[attr];
+  uint64_t dom_size = 0;
+  uint64_t total_tokens = 0;
+  if (!cur->ReadU64(&dom_size)) return Truncated();
+  if (!cur->ReadU64(&total_tokens)) return Truncated();
+  const Token* token_ids = cur->Array<Token>(total_tokens);
+  const uint64_t* token_offsets = cur->Array<uint64_t>(dom_size + 1);
+  uint64_t text_bytes = 0;
+  if (!cur->ok() || !cur->ReadU64(&text_bytes)) return Truncated();
+  const char* text_blob = cur->Array<char>(text_bytes);
+  const uint64_t* text_offsets = cur->Array<uint64_t>(dom_size + 1);
+  const int32_t* freqs = cur->Array<int32_t>(dom_size);
+  if (!cur->ok()) return Truncated();
+
+  dom.tokens.clear();
+  dom.tokens.reserve(dom_size);
+  for (uint64_t v = 0; v < dom_size; ++v) {
+    if (token_offsets[v] > token_offsets[v + 1] ||
+        token_offsets[v + 1] > total_tokens ||
+        text_offsets[v] > text_offsets[v + 1] ||
+        text_offsets[v + 1] > text_bytes) {
+      return Status::InvalidArgument("snapshot domain offsets corrupt");
+    }
+    const Token* run = token_ids + token_offsets[v];
+    const size_t run_len = token_offsets[v + 1] - token_offsets[v];
+    TERIDS_RETURN_IF_ERROR(
+        ValidateTokenRun(run, run_len, dict_tokens_, "domain"));
+    dom.tokens.push_back(TokenSet::View(run, run_len));
   }
-  snapshot::Header header;
-  std::memcpy(&header, data_, sizeof(header));
-  if (std::memcmp(header.magic, snapshot::kMagic, sizeof(header.magic)) != 0) {
-    return Status::InvalidArgument("snapshot magic mismatch (not a snapshot)");
+  dom.text_blob = text_blob;
+  dom.text_offsets = text_offsets;
+  dom.freqs = freqs;
+  *dom_size_out = dom_size;
+  return Status::Ok();
+}
+
+Status MmapSnapshotStorage::ParseSamplesBlock(snapshot::Cursor* cur) const {
+  const size_t n = base_samples_;
+  const int64_t* rids = cur->Array<int64_t>(n);
+  const int32_t* streams = cur->Array<int32_t>(n);
+  const int64_t* timestamps = cur->Array<int64_t>(n);
+  const uint32_t* vids = cur->Array<uint32_t>(n * static_cast<size_t>(d_));
+  uint64_t text_bytes = 0;
+  if (!cur->ok() || !cur->ReadU64(&text_bytes)) return Truncated();
+  const char* texts = cur->Array<char>(text_bytes);
+  const uint64_t* text_offsets =
+      cur->Array<uint64_t>(n * static_cast<size_t>(d_) + 1);
+  if (!cur->ok()) return Truncated();
+
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Record r;
+    r.rid = rids[i];
+    r.stream_id = streams[i];
+    r.timestamp = timestamps[i];
+    r.values.resize(static_cast<size_t>(d_));
+    for (int x = 0; x < d_; ++x) {
+      const size_t cell = i * static_cast<size_t>(d_) + x;
+      const ValueId vid = vids[cell];
+      if (vid >= base_[x].size || text_offsets[cell] > text_offsets[cell + 1] ||
+          text_offsets[cell + 1] > text_bytes) {
+        return Status::InvalidArgument("snapshot sample table corrupt");
+      }
+      AttrValue& v = r.values[x];
+      v.missing = false;
+      v.tokens = base_[x].tokens[vid];
+      v.text.assign(texts + text_offsets[cell], texts + text_offsets[cell + 1]);
+    }
+    records.push_back(std::move(r));
   }
-  if (header.version != snapshot::kVersion) {
-    return Status::InvalidArgument(
-        "snapshot version " + std::to_string(header.version) +
-        " unsupported (expected " + std::to_string(snapshot::kVersion) + ")");
+  base_records_ = std::move(records);
+  base_sample_vids_ = vids;
+  return Status::Ok();
+}
+
+void MmapSnapshotStorage::BuildFindIndex(int attr) const {
+  BaseDomain& dom = base_[attr];
+  dom.by_hash.reserve(dom.size);
+  for (uint64_t v = 0; v < dom.size; ++v) {
+    dom.by_hash.emplace(AttributeDomain::HashTokens(dom.tokens[v]),
+                        static_cast<ValueId>(v));
   }
-  if (header.num_attributes != static_cast<uint32_t>(num_attributes)) {
-    return Status::FailedPrecondition(
-        "snapshot has " + std::to_string(header.num_attributes) +
-        " attributes; schema has " + std::to_string(num_attributes));
-  }
-  if (header.dict_tokens > dict->size()) {
-    return Status::FailedPrecondition(
-        "snapshot references " + std::to_string(header.dict_tokens) +
-        " interned tokens; dictionary holds " + std::to_string(dict->size()));
-  }
-  const char* payload = data_ + sizeof(header);
-  const size_t payload_len = size_ - sizeof(header);
-  if (header.payload_bytes != payload_len) {
-    return Status::InvalidArgument("snapshot payload truncated");
-  }
-  if (snapshot::Checksum(payload, payload_len) != header.payload_checksum) {
+}
+
+// ---------------------------------------------------------------------------
+// v1: monolithic payload, always decoded eagerly at open
+// ---------------------------------------------------------------------------
+
+Status MmapSnapshotStorage::ParseV1(const snapshot::Header& header) {
+  if (snapshot::Checksum(payload_, payload_len_) != header.payload_checksum) {
     return Status::InvalidArgument("snapshot payload checksum mismatch");
   }
-
-  d_ = num_attributes;
-  has_pivots_ = header.has_pivots != 0;
-  base_samples_ = header.num_samples;
-
-  snapshot::Cursor cur(payload, payload_len);
-  auto truncated = [] {
-    return Status::InvalidArgument("snapshot payload ran short while parsing");
-  };
+  snapshot::Cursor cur(payload_, payload_len_);
 
   // ---- Domains ---------------------------------------------------------
-  base_.resize(static_cast<size_t>(d_));
   for (int x = 0; x < d_; ++x) {
-    BaseDomain& dom = base_[x];
     uint64_t dom_size = 0;
-    uint64_t total_tokens = 0;
-    if (!cur.ReadU64(&dom_size)) return truncated();
-    if (!cur.ReadU64(&total_tokens)) return truncated();
-    const Token* token_ids = cur.Array<Token>(total_tokens);
-    const uint64_t* token_offsets = cur.Array<uint64_t>(dom_size + 1);
-    uint64_t text_bytes = 0;
-    if (!cur.ReadU64(&text_bytes)) return truncated();
-    const char* text_blob = cur.Array<char>(text_bytes);
-    const uint64_t* text_offsets = cur.Array<uint64_t>(dom_size + 1);
-    const int32_t* freqs = cur.Array<int32_t>(dom_size);
-    if (!cur.ok()) return truncated();
-
-    dom.size = dom_size;
-    dom.freqs = freqs;
-    dom.tokens.reserve(dom_size);
-    dom.texts.reserve(dom_size);
-    for (uint64_t v = 0; v < dom_size; ++v) {
-      if (token_offsets[v] > token_offsets[v + 1] ||
-          token_offsets[v + 1] > total_tokens ||
-          text_offsets[v] > text_offsets[v + 1] ||
-          text_offsets[v + 1] > text_bytes) {
-        return Status::InvalidArgument("snapshot domain offsets corrupt");
-      }
-      std::vector<Token> ts(token_ids + token_offsets[v],
-                            token_ids + token_offsets[v + 1]);
-      for (Token t : ts) {
-        if (t >= header.dict_tokens) {
-          return Status::FailedPrecondition(
-              "snapshot token id outside the dictionary it was built with");
-        }
-      }
-      // The stored runs are already sorted + deduplicated; FromTokens
-      // re-normalizes, which is a no-op on well-formed input and heals a
-      // hand-edited file instead of breaking merge invariants downstream.
-      dom.tokens.push_back(TokenSet::FromTokens(std::move(ts)));
-      dom.texts.emplace_back(text_blob + text_offsets[v],
-                             text_blob + text_offsets[v + 1]);
-      dom.by_hash.emplace(AttributeDomain::HashTokens(dom.tokens.back()),
-                          static_cast<ValueId>(v));
-    }
+    TERIDS_RETURN_IF_ERROR(ParseDomainBlock(&cur, x, &dom_size));
+    base_[x].size = dom_size;
+    BuildFindIndex(x);
   }
 
   // ---- Pivot geometry --------------------------------------------------
@@ -179,17 +236,19 @@ Status MmapSnapshotStorage::Parse(int num_attributes, const TokenDict* dict) {
     pivots_.resize(static_cast<size_t>(d_));
     for (int x = 0; x < d_; ++x) {
       uint64_t np = 0;
-      if (!cur.ReadU64(&np)) return truncated();
+      if (!cur.ReadU64(&np)) return Truncated();
       if (np == 0) {
         return Status::InvalidArgument("snapshot attribute has zero pivots");
       }
+      num_pivots_[x] = static_cast<int>(np);
       for (uint64_t a = 0; a < np; ++a) {
         uint64_t ntokens = 0;
-        if (!cur.ReadU64(&ntokens)) return truncated();
+        if (!cur.ReadU64(&ntokens)) return Truncated();
         const Token* ptokens = cur.Array<Token>(ntokens);
-        if (!cur.ok()) return truncated();
-        pivots_[x].pivots.push_back(TokenSet::FromTokens(
-            std::vector<Token>(ptokens, ptokens + ntokens)));
+        if (!cur.ok()) return Truncated();
+        TERIDS_RETURN_IF_ERROR(
+            ValidateTokenRun(ptokens, ntokens, dict_tokens_, "pivot"));
+        pivots_[x].pivots.push_back(TokenSet::View(ptokens, ntokens));
       }
     }
     for (int x = 0; x < d_; ++x) {
@@ -202,56 +261,311 @@ Status MmapSnapshotStorage::Parse(int num_attributes, const TokenDict* dict) {
       base_[x].coord_keys = cur.Array<double>(base_[x].size);
       base_[x].coord_vids = cur.Array<uint32_t>(base_[x].size);
     }
-    if (!cur.ok()) return truncated();
+    if (!cur.ok()) return Truncated();
   }
 
   // ---- Samples ---------------------------------------------------------
-  const size_t n = base_samples_;
-  const int64_t* rids = cur.Array<int64_t>(n);
-  const int32_t* streams = cur.Array<int32_t>(n);
-  const int64_t* timestamps = cur.Array<int64_t>(n);
-  base_sample_vids_ = cur.Array<uint32_t>(n * static_cast<size_t>(d_));
-  uint64_t sample_text_bytes = 0;
-  if (!cur.ok() || !cur.ReadU64(&sample_text_bytes)) return truncated();
-  const char* sample_texts = cur.Array<char>(sample_text_bytes);
-  const uint64_t* sample_text_offsets =
-      cur.Array<uint64_t>(n * static_cast<size_t>(d_) + 1);
-  if (!cur.ok()) return truncated();
+  TERIDS_RETURN_IF_ERROR(ParseSamplesBlock(&cur));
 
-  base_records_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    Record r;
-    r.rid = rids[i];
-    r.stream_id = streams[i];
-    r.timestamp = timestamps[i];
-    r.values.resize(static_cast<size_t>(d_));
-    for (int x = 0; x < d_; ++x) {
-      const size_t cell = i * static_cast<size_t>(d_) + x;
-      const ValueId vid = base_sample_vids_[cell];
-      if (vid >= base_[x].size ||
-          sample_text_offsets[cell] > sample_text_offsets[cell + 1] ||
-          sample_text_offsets[cell + 1] > sample_text_bytes) {
-        return Status::InvalidArgument("snapshot sample table corrupt");
-      }
-      AttrValue& v = r.values[x];
-      v.missing = false;
-      v.tokens = base_[x].tokens[vid];
-      v.text.assign(sample_texts + sample_text_offsets[cell],
-                    sample_texts + sample_text_offsets[cell + 1]);
+  decoded_all_ = true;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// v2: TOC at open, per-section decode on first touch (or forced at open)
+// ---------------------------------------------------------------------------
+
+Status MmapSnapshotStorage::ParseToc(const snapshot::Header& header) {
+  snapshot::Cursor cur(payload_, payload_len_);
+  uint64_t count = 0;
+  if (!cur.ReadU64(&count)) {
+    return Status::InvalidArgument("snapshot TOC truncated");
+  }
+  const uint64_t expected_count = 2 * static_cast<uint64_t>(d_) + 2;
+  if (count != expected_count) {
+    return Status::InvalidArgument(
+        "snapshot TOC section count mismatch: file has " +
+        std::to_string(count) + ", schema implies " +
+        std::to_string(expected_count));
+  }
+  const auto* entries = cur.Array<snapshot::SectionEntry>(count);
+  if (!cur.ok()) {
+    return Status::InvalidArgument("snapshot TOC truncated");
+  }
+  const size_t toc_bytes =
+      sizeof(uint64_t) + count * sizeof(snapshot::SectionEntry);
+  if (snapshot::Checksum(payload_, toc_bytes) != header.payload_checksum) {
+    return Status::InvalidArgument("snapshot TOC checksum mismatch");
+  }
+
+  auto check_entry = [&](const snapshot::SectionEntry& e,
+                         snapshot::SectionKind kind, uint64_t attr) -> Status {
+    if (e.kind != static_cast<uint64_t>(kind) || e.attr != attr) {
+      return Status::InvalidArgument("snapshot TOC section order malformed");
     }
-    base_records_.push_back(std::move(r));
+    if (e.offset % 8 != 0 || e.offset > payload_len_ ||
+        e.bytes > payload_len_ - e.offset) {
+      return Status::InvalidArgument("snapshot TOC section out of bounds");
+    }
+    return Status::Ok();
+  };
+
+  // Fixed section order: domains, pivot tokens, geometry, samples.
+  toc_domain_.resize(static_cast<size_t>(d_));
+  toc_geometry_.resize(static_cast<size_t>(d_));
+  for (int x = 0; x < d_; ++x) {
+    const snapshot::SectionEntry& e = entries[x];
+    TERIDS_RETURN_IF_ERROR(check_entry(e, snapshot::SectionKind::kDomain,
+                                       static_cast<uint64_t>(x)));
+    if (e.aux > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("snapshot domain size exceeds ValueId");
+    }
+    toc_domain_[x] = e;
+    base_[x].size = e.aux;
+  }
+  TERIDS_RETURN_IF_ERROR(
+      check_entry(entries[d_], snapshot::SectionKind::kPivotTokens, 0));
+  toc_pivot_tokens_ = entries[d_];
+  for (int x = 0; x < d_; ++x) {
+    const snapshot::SectionEntry& e = entries[d_ + 1 + x];
+    TERIDS_RETURN_IF_ERROR(check_entry(e, snapshot::SectionKind::kGeometry,
+                                       static_cast<uint64_t>(x)));
+    if (e.aux == 0 || e.aux > std::numeric_limits<int>::max()) {
+      return Status::InvalidArgument(
+          "snapshot TOC pivot count out of range for attribute " +
+          std::to_string(x));
+    }
+    toc_geometry_[x] = e;
+    num_pivots_[x] = static_cast<int>(e.aux);
+  }
+  TERIDS_RETURN_IF_ERROR(
+      check_entry(entries[2 * d_ + 1], snapshot::SectionKind::kSamples, 0));
+  toc_samples_ = entries[2 * d_ + 1];
+  if (toc_samples_.aux != header.num_samples) {
+    return Status::InvalidArgument(
+        "snapshot TOC sample count disagrees with header");
+  }
+  return Status::Ok();
+}
+
+Status MmapSnapshotStorage::DecodeDomain(int attr) const {
+  const snapshot::SectionEntry& e = toc_domain_[attr];
+  if (snapshot::Checksum(payload_ + e.offset, e.bytes) != e.checksum) {
+    return Status::InvalidArgument(
+        "snapshot domain section checksum mismatch (attribute " +
+        std::to_string(attr) + ")");
+  }
+  snapshot::Cursor cur(payload_ + e.offset, e.bytes);
+  uint64_t dom_size = 0;
+  TERIDS_RETURN_IF_ERROR(ParseDomainBlock(&cur, attr, &dom_size));
+  if (dom_size != e.aux) {
+    return Status::InvalidArgument(
+        "snapshot domain section size disagrees with TOC");
+  }
+  return Status::Ok();
+}
+
+Status MmapSnapshotStorage::DecodePivotTokens() const {
+  const snapshot::SectionEntry& e = toc_pivot_tokens_;
+  if (snapshot::Checksum(payload_ + e.offset, e.bytes) != e.checksum) {
+    return Status::InvalidArgument(
+        "snapshot pivot-token section checksum mismatch");
+  }
+  snapshot::Cursor cur(payload_ + e.offset, e.bytes);
+  std::vector<AttributePivots> pivots(static_cast<size_t>(d_));
+  for (int x = 0; x < d_; ++x) {
+    uint64_t np = 0;
+    if (!cur.ReadU64(&np)) return Truncated();
+    if (np != static_cast<uint64_t>(num_pivots_[x])) {
+      return Status::InvalidArgument(
+          "snapshot pivot-token section disagrees with TOC pivot count");
+    }
+    for (uint64_t a = 0; a < np; ++a) {
+      uint64_t ntokens = 0;
+      if (!cur.ReadU64(&ntokens)) return Truncated();
+      const Token* ptokens = cur.Array<Token>(ntokens);
+      if (!cur.ok()) return Truncated();
+      TERIDS_RETURN_IF_ERROR(
+          ValidateTokenRun(ptokens, ntokens, dict_tokens_, "pivot"));
+      pivots[x].pivots.push_back(TokenSet::View(ptokens, ntokens));
+    }
+  }
+  pivots_ = std::move(pivots);
+  return Status::Ok();
+}
+
+Status MmapSnapshotStorage::DecodeGeometry(int attr) const {
+  const snapshot::SectionEntry& e = toc_geometry_[attr];
+  if (snapshot::Checksum(payload_ + e.offset, e.bytes) != e.checksum) {
+    return Status::InvalidArgument(
+        "snapshot geometry section checksum mismatch (attribute " +
+        std::to_string(attr) + ")");
+  }
+  snapshot::Cursor cur(payload_ + e.offset, e.bytes);
+  uint64_t dom_size = 0;
+  uint64_t np = 0;
+  if (!cur.ReadU64(&dom_size) || !cur.ReadU64(&np)) return Truncated();
+  BaseDomain& dom = base_[attr];
+  if (dom_size != dom.size || np != static_cast<uint64_t>(num_pivots_[attr])) {
+    return Status::InvalidArgument(
+        "snapshot geometry section header disagrees with TOC");
+  }
+  std::vector<const double*> dists(np);
+  for (uint64_t a = 0; a < np; ++a) {
+    dists[a] = cur.Array<double>(dom_size);
+  }
+  const double* coord_keys = cur.Array<double>(dom_size);
+  const uint32_t* coord_vids = cur.Array<uint32_t>(dom_size);
+  if (!cur.ok()) return Truncated();
+  dom.dists = std::move(dists);
+  dom.coord_keys = coord_keys;
+  dom.coord_vids = coord_vids;
+  return Status::Ok();
+}
+
+Status MmapSnapshotStorage::DecodeSamples() const {
+  const snapshot::SectionEntry& e = toc_samples_;
+  if (snapshot::Checksum(payload_ + e.offset, e.bytes) != e.checksum) {
+    return Status::InvalidArgument(
+        "snapshot samples section checksum mismatch");
+  }
+  snapshot::Cursor cur(payload_ + e.offset, e.bytes);
+  return ParseSamplesBlock(&cur);
+}
+
+// ---------------------------------------------------------------------------
+// First-touch wrappers
+// ---------------------------------------------------------------------------
+
+void MmapSnapshotStorage::EnsureDomain(int attr) const {
+  if (decoded_all_) return;
+  std::call_once(domain_once_[attr], [this, attr] {
+    const Status status = DecodeDomain(attr);
+    if (!status.ok()) DieOnFirstTouchFailure(status);
+  });
+}
+
+void MmapSnapshotStorage::EnsureFindIndex(int attr) const {
+  if (decoded_all_) return;
+  EnsureDomain(attr);
+  std::call_once(find_once_[attr], [this, attr] { BuildFindIndex(attr); });
+}
+
+void MmapSnapshotStorage::EnsurePivotTokens() const {
+  if (decoded_all_) return;
+  std::call_once(pivot_tokens_once_, [this] {
+    const Status status = DecodePivotTokens();
+    if (!status.ok()) DieOnFirstTouchFailure(status);
+  });
+}
+
+void MmapSnapshotStorage::EnsureGeometry(int attr) const {
+  if (decoded_all_) return;
+  std::call_once(geometry_once_[attr], [this, attr] {
+    const Status status = DecodeGeometry(attr);
+    if (!status.ok()) DieOnFirstTouchFailure(status);
+  });
+}
+
+void MmapSnapshotStorage::EnsureSamples() const {
+  if (decoded_all_) return;
+  // Sample records hold token-set views into the domain columns.
+  for (int x = 0; x < d_; ++x) {
+    EnsureDomain(x);
+  }
+  std::call_once(samples_once_, [this] {
+    const Status status = DecodeSamples();
+    if (!status.ok()) DieOnFirstTouchFailure(status);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Open
+// ---------------------------------------------------------------------------
+
+Status MmapSnapshotStorage::Parse(int num_attributes, const TokenDict* dict,
+                                  SnapshotDecode decode) {
+  if (size_ < sizeof(snapshot::Header)) {
+    return Status::InvalidArgument("snapshot smaller than its header");
+  }
+  snapshot::Header header;
+  std::memcpy(&header, data_, sizeof(header));
+  if (std::memcmp(header.magic, snapshot::kMagic, sizeof(header.magic)) != 0) {
+    return Status::InvalidArgument("snapshot magic mismatch (not a snapshot)");
+  }
+  if (header.version != snapshot::kVersion &&
+      header.version != snapshot::kVersionEager) {
+    return Status::InvalidArgument(
+        "snapshot version " + std::to_string(header.version) +
+        " unsupported (expected " + std::to_string(snapshot::kVersionEager) +
+        " or " + std::to_string(snapshot::kVersion) + ")");
+  }
+  if (header.num_attributes != static_cast<uint32_t>(num_attributes)) {
+    return Status::FailedPrecondition(
+        "snapshot has " + std::to_string(header.num_attributes) +
+        " attributes; schema has " + std::to_string(num_attributes));
+  }
+  if (header.dict_tokens > dict->size()) {
+    return Status::FailedPrecondition(
+        "snapshot references " + std::to_string(header.dict_tokens) +
+        " interned tokens; dictionary holds " + std::to_string(dict->size()));
+  }
+  payload_ = data_ + sizeof(header);
+  payload_len_ = size_ - sizeof(header);
+  if (header.payload_bytes != payload_len_) {
+    return Status::InvalidArgument("snapshot payload truncated");
+  }
+
+  d_ = num_attributes;
+  has_pivots_ = header.has_pivots != 0;
+  base_samples_ = header.num_samples;
+  dict_tokens_ = header.dict_tokens;
+  base_.resize(static_cast<size_t>(d_));
+  num_pivots_.assign(static_cast<size_t>(d_), 0);
+  domain_once_ = std::make_unique<std::once_flag[]>(static_cast<size_t>(d_));
+  find_once_ = std::make_unique<std::once_flag[]>(static_cast<size_t>(d_));
+  geometry_once_ = std::make_unique<std::once_flag[]>(static_cast<size_t>(d_));
+
+  if (header.version == snapshot::kVersionEager) {
+    // v1's single whole-payload checksum forces a full read; the decode
+    // knob is moot.
+    TERIDS_RETURN_IF_ERROR(ParseV1(header));
+  } else {
+    if (!has_pivots_) {
+      return Status::InvalidArgument(
+          "v2 snapshot without pivot geometry unsupported");
+    }
+    TERIDS_RETURN_IF_ERROR(ParseToc(header));
+    if (decode == SnapshotDecode::kEager) {
+      // Force every section through the same decode the lazy path runs on
+      // first touch, so corruption fails the open and the materialized
+      // state is identical by construction.
+      for (int x = 0; x < d_; ++x) {
+        TERIDS_RETURN_IF_ERROR(DecodeDomain(x));
+      }
+      for (int x = 0; x < d_; ++x) {
+        BuildFindIndex(x);
+      }
+      TERIDS_RETURN_IF_ERROR(DecodePivotTokens());
+      for (int x = 0; x < d_; ++x) {
+        TERIDS_RETURN_IF_ERROR(DecodeGeometry(x));
+      }
+      TERIDS_RETURN_IF_ERROR(DecodeSamples());
+      decoded_all_ = true;
+    }
   }
 
   // ---- Overlay scaffolding --------------------------------------------
   overlay_.resize(static_cast<size_t>(d_));
   for (int x = 0; x < d_; ++x) {
-    overlay_[x].dists.resize(has_pivots_ ? pivots_[x].pivots.size() : 0);
+    overlay_[x].dists.resize(has_pivots_ ? num_pivots_[x] : 0);
   }
   return Status::Ok();
 }
 
 Result<std::unique_ptr<MmapSnapshotStorage>> MmapSnapshotStorage::Open(
-    int num_attributes, const TokenDict* dict, const std::string& path) {
+    int num_attributes, const TokenDict* dict, const std::string& path,
+    SnapshotDecode decode) {
   TERIDS_CHECK(dict != nullptr);
   TERIDS_CHECK(num_attributes >= 1);
   std::unique_ptr<MmapSnapshotStorage> storage(new MmapSnapshotStorage());
@@ -259,7 +573,7 @@ Result<std::unique_ptr<MmapSnapshotStorage>> MmapSnapshotStorage::Open(
   if (!status.ok()) {
     return status;
   }
-  status = storage->Parse(num_attributes, dict);
+  status = storage->Parse(num_attributes, dict, decode);
   if (!status.ok()) {
     return status;
   }
@@ -279,17 +593,19 @@ const TokenSet& MmapSnapshotStorage::value_tokens(int attr, ValueId id) const {
   TERIDS_CHECK(attr >= 0 && attr < d_);
   const BaseDomain& dom = base_[attr];
   if (id < dom.size) {
+    EnsureDomain(attr);
     return dom.tokens[id];
   }
   return overlay_[attr].extra.tokens(id - static_cast<ValueId>(dom.size));
 }
 
-const std::string& MmapSnapshotStorage::value_text(int attr,
-                                                   ValueId id) const {
+std::string_view MmapSnapshotStorage::value_text(int attr, ValueId id) const {
   TERIDS_CHECK(attr >= 0 && attr < d_);
   const BaseDomain& dom = base_[attr];
   if (id < dom.size) {
-    return dom.texts[id];
+    EnsureDomain(attr);
+    return std::string_view(dom.text_blob + dom.text_offsets[id],
+                            dom.text_offsets[id + 1] - dom.text_offsets[id]);
   }
   return overlay_[attr].extra.text(id - static_cast<ValueId>(dom.size));
 }
@@ -299,6 +615,7 @@ int MmapSnapshotStorage::value_frequency(int attr, ValueId id) const {
   const BaseDomain& dom = base_[attr];
   const DomainOverlay& over = overlay_[attr];
   if (id < dom.size) {
+    EnsureDomain(attr);
     const auto it = over.base_freq_delta.find(id);
     return dom.freqs[id] + (it == over.base_freq_delta.end() ? 0 : it->second);
   }
@@ -307,6 +624,7 @@ int MmapSnapshotStorage::value_frequency(int attr, ValueId id) const {
 
 ValueId MmapSnapshotStorage::FindValue(int attr, const TokenSet& tokens) const {
   TERIDS_CHECK(attr >= 0 && attr < d_);
+  EnsureFindIndex(attr);
   const BaseDomain& dom = base_[attr];
   const uint64_t h = AttributeDomain::HashTokens(tokens);
   auto [begin, end] = dom.by_hash.equal_range(h);
@@ -329,6 +647,7 @@ size_t MmapSnapshotStorage::num_samples() const {
 const Record& MmapSnapshotStorage::sample(size_t i) const {
   TERIDS_CHECK(i < num_samples());
   if (i < base_samples_) {
+    EnsureSamples();
     return base_records_[i];
   }
   return extra_records_[i - base_samples_];
@@ -338,6 +657,7 @@ ValueId MmapSnapshotStorage::sample_value_id(size_t i, int attr) const {
   TERIDS_CHECK(i < num_samples());
   TERIDS_CHECK(attr >= 0 && attr < d_);
   if (i < base_samples_) {
+    EnsureSamples();
     return base_sample_vids_[i * static_cast<size_t>(d_) + attr];
   }
   return extra_sample_vids_[i - base_samples_][attr];
@@ -346,7 +666,7 @@ ValueId MmapSnapshotStorage::sample_value_id(size_t i, int attr) const {
 int MmapSnapshotStorage::num_pivots(int attr) const {
   TERIDS_CHECK(has_pivots_);
   TERIDS_CHECK(attr >= 0 && attr < d_);
-  return static_cast<int>(pivots_[attr].pivots.size());
+  return num_pivots_[attr];
 }
 
 const TokenSet& MmapSnapshotStorage::pivot_tokens(int attr,
@@ -354,6 +674,7 @@ const TokenSet& MmapSnapshotStorage::pivot_tokens(int attr,
   TERIDS_CHECK(has_pivots_);
   TERIDS_CHECK(attr >= 0 && attr < d_);
   TERIDS_CHECK(pivot_idx >= 0 && pivot_idx < num_pivots(attr));
+  EnsurePivotTokens();
   return pivots_[attr].pivots[pivot_idx];
 }
 
@@ -364,6 +685,7 @@ double MmapSnapshotStorage::pivot_distance(int attr, int pivot_idx,
   TERIDS_CHECK(pivot_idx >= 0 && pivot_idx < num_pivots(attr));
   const BaseDomain& dom = base_[attr];
   if (vid < dom.size) {
+    EnsureGeometry(attr);
     return dom.dists[pivot_idx][vid];
   }
   const ValueId local = vid - static_cast<ValueId>(dom.size);
@@ -379,6 +701,7 @@ void MmapSnapshotStorage::AppendValuesInCoordRange(
   if (interval.empty()) {
     return;
   }
+  EnsureGeometry(attr);
   const BaseDomain& dom = base_[attr];
   const auto& over = overlay_[attr].sorted_coords;
   // Merge the immutable base column with the overlay's sorted list in
@@ -417,6 +740,10 @@ void MmapSnapshotStorage::AppendValuesInCoordRange(
 ValueId MmapSnapshotStorage::RegisterValue(int attr, const TokenSet& tokens,
                                            const std::string& text) {
   TERIDS_CHECK(attr >= 0 && attr < d_);
+  EnsureFindIndex(attr);
+  if (has_pivots_) {
+    EnsurePivotTokens();
+  }
   const BaseDomain& dom = base_[attr];
   // Base values are immutable and deduplicated; only a genuinely new token
   // set lands in the overlay.

@@ -19,6 +19,20 @@ const char* RepoBackendName(RepoBackend backend);
 /// Returns false, leaving *backend untouched, on any other input.
 bool ParseRepoBackend(const std::string& name, RepoBackend* backend);
 
+/// How MmapSnapshotStorage materializes a v2 snapshot's sections.
+/// Irrelevant to the in-memory backend; v1 snapshot files decode eagerly
+/// regardless (their single whole-payload checksum forces a full read).
+enum class SnapshotDecode {
+  kEager,  // Decode every section at open — the v1-equivalent oracle.
+  kLazy,   // O(header + TOC) open; sections decode on first touch.
+};
+
+const char* SnapshotDecodeName(SnapshotDecode decode);
+
+/// Parses "eager" / "lazy" (the TERIDS_BENCH_SNAPDECODE spellings).
+/// Returns false, leaving *decode untouched, on any other input.
+bool ParseSnapshotDecode(const std::string& name, SnapshotDecode* decode);
+
 }  // namespace terids
 
 #endif  // TERIDS_REPO_REPO_BACKEND_H_

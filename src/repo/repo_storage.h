@@ -2,6 +2,7 @@
 #define TERIDS_REPO_REPO_STORAGE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "repo/attribute_domain.h"
@@ -43,7 +44,10 @@ class RepoStorage {
 
   virtual size_t domain_size(int attr) const = 0;
   virtual const TokenSet& value_tokens(int attr, ValueId id) const = 0;
-  virtual const std::string& value_text(int attr, ValueId id) const = 0;
+  /// Display text of a domain value. Returned as a view so snapshot
+  /// backends can serve it straight from the mapped text blob; it stays
+  /// valid for the storage's lifetime.
+  virtual std::string_view value_text(int attr, ValueId id) const = 0;
   virtual int value_frequency(int attr, ValueId id) const = 0;
   /// Id of an existing value of dom(attr) with this exact token set, or
   /// kInvalidValueId.

@@ -21,11 +21,12 @@ Repository::Repository(const Schema* schema, const TokenDict* dict,
 }
 
 Result<std::unique_ptr<Repository>> Repository::OpenSnapshot(
-    const Schema* schema, const TokenDict* dict, const std::string& path) {
+    const Schema* schema, const TokenDict* dict, const std::string& path,
+    SnapshotDecode decode) {
   TERIDS_CHECK(schema != nullptr);
   TERIDS_CHECK(dict != nullptr);
   Result<std::unique_ptr<MmapSnapshotStorage>> storage =
-      MmapSnapshotStorage::Open(schema->num_attributes(), dict, path);
+      MmapSnapshotStorage::Open(schema->num_attributes(), dict, path, decode);
   if (!storage.ok()) {
     return storage.status();
   }

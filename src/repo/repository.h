@@ -26,10 +26,11 @@ class InMemoryStorage;
 /// and pipelines — read R exclusively through this class's backend-neutral
 /// accessors, so the same engine runs unchanged over the in-memory vectors
 /// (the default) or a read-only mmap snapshot whose numeric geometry
-/// tables are served zero-copy from the page cache instead of rebuilt on
-/// the heap (v1 still materializes token sets, texts, and sample records
-/// at open — see DESIGN.md §8). Backends are required to be bit-identical
-/// on the read path; the equivalence sweep enforces it end to end.
+/// tables, token columns, and display texts are served zero-copy from the
+/// page cache instead of rebuilt on the heap — with v2 snapshots decoding
+/// per-section on first touch (see DESIGN.md §8). Backends are required to
+/// be bit-identical on the read path; the equivalence sweep enforces it
+/// end to end.
 class Repository {
  public:
   /// In-memory backend (the default).
@@ -42,9 +43,12 @@ class Repository {
 
   /// Opens a Repository over the snapshot file at `path` with the
   /// MmapSnapshotStorage backend. Fails with a precise Status if the file
-  /// is missing, corrupt, or disagrees with `schema`/`dict`.
+  /// is missing, corrupt, or disagrees with `schema`/`dict`. `decode`
+  /// picks the v2 materialization strategy (lazy first-touch decode vs
+  /// decode-everything-at-open); v1 files always decode eagerly.
   static Result<std::unique_ptr<Repository>> OpenSnapshot(
-      const Schema* schema, const TokenDict* dict, const std::string& path);
+      const Schema* schema, const TokenDict* dict, const std::string& path,
+      SnapshotDecode decode = SnapshotDecode::kLazy);
 
   Repository(const Repository&) = delete;
   Repository& operator=(const Repository&) = delete;
@@ -80,7 +84,7 @@ class Repository {
   const TokenSet& value_tokens(int attr, ValueId id) const {
     return storage_->value_tokens(attr, id);
   }
-  const std::string& value_text(int attr, ValueId id) const {
+  std::string_view value_text(int attr, ValueId id) const {
     return storage_->value_text(attr, id);
   }
   int value_frequency(int attr, ValueId id) const {

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <random>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "repo/snapshot_format.h"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -31,7 +34,7 @@ void AppendDomain(const Repository& repo, int attr, snapshot::Builder* out) {
   token_offsets.reserve(dom + 1);
   token_offsets.push_back(0);
   for (ValueId v = 0; v < dom; ++v) {
-    const std::vector<Token>& ts = repo.value_tokens(attr, v).tokens();
+    const TokenSet& ts = repo.value_tokens(attr, v);
     token_ids.insert(token_ids.end(), ts.begin(), ts.end());
     token_offsets.push_back(token_ids.size());
   }
@@ -59,46 +62,61 @@ void AppendDomain(const Repository& repo, int attr, snapshot::Builder* out) {
   out->AppendArray(freqs.data(), freqs.size());
 }
 
-void AppendPivots(const Repository& repo, snapshot::Builder* out) {
+void AppendPivotTokens(const Repository& repo, snapshot::Builder* out) {
   const int d = repo.num_attributes();
   for (int x = 0; x < d; ++x) {
     const int np = repo.num_pivots(x);
     out->AppendU64(static_cast<uint64_t>(np));
     for (int a = 0; a < np; ++a) {
-      const std::vector<Token>& ts = repo.pivot_tokens(x, a).tokens();
+      const TokenSet& ts = repo.pivot_tokens(x, a);
       out->AppendU64(ts.size());
       out->AppendArray(ts.data(), ts.size());
     }
   }
-  // Distance tables, one contiguous column per (attribute, pivot).
-  for (int x = 0; x < d; ++x) {
-    const size_t dom = repo.domain_size(x);
-    std::vector<double> dists(dom);
-    for (int a = 0; a < repo.num_pivots(x); ++a) {
-      for (ValueId v = 0; v < dom; ++v) {
-        dists[v] = repo.pivot_distance(x, a, v);
-      }
-      out->AppendArray(dists.data(), dists.size());
-    }
-  }
-  // Sorted main-pivot coordinate lists, as parallel (key, vid) columns.
-  for (int x = 0; x < d; ++x) {
-    const size_t dom = repo.domain_size(x);
-    std::vector<std::pair<double, ValueId>> coords;
-    coords.reserve(dom);
+}
+
+void AppendDistColumns(const Repository& repo, int attr,
+                       snapshot::Builder* out) {
+  const size_t dom = repo.domain_size(attr);
+  std::vector<double> dists(dom);
+  for (int a = 0; a < repo.num_pivots(attr); ++a) {
     for (ValueId v = 0; v < dom; ++v) {
-      coords.emplace_back(repo.coord(x, v), v);
+      dists[v] = repo.pivot_distance(attr, a, v);
     }
-    std::sort(coords.begin(), coords.end());
-    std::vector<double> keys(dom);
-    std::vector<uint32_t> vids(dom);
-    for (size_t i = 0; i < dom; ++i) {
-      keys[i] = coords[i].first;
-      vids[i] = coords[i].second;
-    }
-    out->AppendArray(keys.data(), keys.size());
-    out->AppendArray(vids.data(), vids.size());
+    out->AppendArray(dists.data(), dists.size());
   }
+}
+
+void AppendCoordLists(const Repository& repo, int attr,
+                      snapshot::Builder* out) {
+  // Sorted main-pivot coordinate list, as parallel (key, vid) columns.
+  const size_t dom = repo.domain_size(attr);
+  std::vector<std::pair<double, ValueId>> coords;
+  coords.reserve(dom);
+  for (ValueId v = 0; v < dom; ++v) {
+    coords.emplace_back(repo.coord(attr, v), v);
+  }
+  std::sort(coords.begin(), coords.end());
+  std::vector<double> keys(dom);
+  std::vector<uint32_t> vids(dom);
+  for (size_t i = 0; i < dom; ++i) {
+    keys[i] = coords[i].first;
+    vids[i] = coords[i].second;
+  }
+  out->AppendArray(keys.data(), keys.size());
+  out->AppendArray(vids.data(), vids.size());
+}
+
+/// v2 per-attribute geometry section: a self-describing (dom, np) prefix,
+/// then the pivot-distance columns and the sorted coordinate lists for
+/// this attribute only, so a lazy reader can decode one attribute's
+/// geometry without touching any other section.
+void AppendGeometrySection(const Repository& repo, int attr,
+                           snapshot::Builder* out) {
+  out->AppendU64(repo.domain_size(attr));
+  out->AppendU64(static_cast<uint64_t>(repo.num_pivots(attr)));
+  AppendDistColumns(repo, attr, out);
+  AppendCoordLists(repo, attr, out);
 }
 
 void AppendSamples(const Repository& repo, snapshot::Builder* out) {
@@ -137,6 +155,146 @@ void AppendSamples(const Repository& repo, snapshot::Builder* out) {
   out->AppendArray(text_offsets.data(), text_offsets.size());
 }
 
+/// v1 monolithic payload: domains, pivot tokens, every attribute's
+/// distance columns, every attribute's coordinate lists, samples.
+std::string BuildPayloadV1(const Repository& repo) {
+  snapshot::Builder payload;
+  const int d = repo.num_attributes();
+  for (int x = 0; x < d; ++x) {
+    AppendDomain(repo, x, &payload);
+  }
+  AppendPivotTokens(repo, &payload);
+  for (int x = 0; x < d; ++x) {
+    AppendDistColumns(repo, x, &payload);
+  }
+  for (int x = 0; x < d; ++x) {
+    AppendCoordLists(repo, x, &payload);
+  }
+  AppendSamples(repo, &payload);
+  return payload.bytes();
+}
+
+struct SectionBlob {
+  snapshot::SectionKind kind;
+  uint64_t attr;
+  uint64_t aux;
+  std::string bytes;
+};
+
+uint64_t Align8(uint64_t n) { return (n + 7) / 8 * 8; }
+
+/// v2 payload: TOC (count + entries), then each section at its 8-aligned
+/// offset. Section contents reuse the v1 encoders, so the bytes inside a
+/// domain or samples section are identical across versions; only the
+/// framing (and the per-attribute geometry regrouping) differs.
+std::string BuildPayloadV2(const Repository& repo, uint64_t* toc_checksum) {
+  const int d = repo.num_attributes();
+  std::vector<SectionBlob> sections;
+  sections.reserve(2 * static_cast<size_t>(d) + 2);
+  for (int x = 0; x < d; ++x) {
+    snapshot::Builder b;
+    AppendDomain(repo, x, &b);
+    sections.push_back({snapshot::SectionKind::kDomain,
+                        static_cast<uint64_t>(x), repo.domain_size(x),
+                        b.bytes()});
+  }
+  {
+    snapshot::Builder b;
+    AppendPivotTokens(repo, &b);
+    sections.push_back({snapshot::SectionKind::kPivotTokens, 0, 0, b.bytes()});
+  }
+  for (int x = 0; x < d; ++x) {
+    snapshot::Builder b;
+    AppendGeometrySection(repo, x, &b);
+    sections.push_back({snapshot::SectionKind::kGeometry,
+                        static_cast<uint64_t>(x),
+                        static_cast<uint64_t>(repo.num_pivots(x)), b.bytes()});
+  }
+  {
+    snapshot::Builder b;
+    AppendSamples(repo, &b);
+    sections.push_back(
+        {snapshot::SectionKind::kSamples, 0, repo.num_samples(), b.bytes()});
+  }
+
+  const uint64_t count = sections.size();
+  std::vector<snapshot::SectionEntry> entries;
+  entries.reserve(count);
+  uint64_t off = Align8(sizeof(uint64_t) + count * sizeof(snapshot::SectionEntry));
+  for (const SectionBlob& s : sections) {
+    snapshot::SectionEntry e;
+    e.kind = static_cast<uint64_t>(s.kind);
+    e.attr = s.attr;
+    e.offset = off;
+    e.bytes = s.bytes.size();
+    e.aux = s.aux;
+    e.checksum = snapshot::Checksum(s.bytes.data(), s.bytes.size());
+    entries.push_back(e);
+    off = Align8(off + e.bytes);
+  }
+
+  std::string toc;
+  toc.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  toc.append(reinterpret_cast<const char*>(entries.data()),
+             entries.size() * sizeof(snapshot::SectionEntry));
+  *toc_checksum = snapshot::Checksum(toc.data(), toc.size());
+
+  std::string payload = std::move(toc);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    payload.resize(entries[i].offset, '\0');
+    payload += sections[i].bytes;
+  }
+  return payload;
+}
+
+/// Writes header + payload to a same-directory temp file, fsyncs it, and
+/// renames it over `path`. Every failure path unlinks the temp file.
+Status WriteFileAtomic(const std::string& path, const snapshot::Header& header,
+                       const std::string& payload) {
+  static std::atomic<uint64_t> tmp_counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const std::string tmp = path + ".tmp-" + std::to_string(pid) + "-" +
+                          std::to_string(tmp_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open snapshot temp file for writing: " +
+                              tmp);
+    }
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Internal("short write to snapshot temp file: " + tmp);
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Durability: the rename must not be reordered before the data blocks.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot reopen snapshot temp file for fsync: " +
+                            tmp);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("fsync failed on snapshot temp file: " + tmp);
+  }
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename snapshot temp file over: " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string UniqueSnapshotPath(const std::string& prefix) {
@@ -157,6 +315,16 @@ std::string UniqueSnapshotPath(const std::string& prefix) {
 
 Status WriteRepositorySnapshot(const Repository& repo,
                                const std::string& path) {
+  return WriteRepositorySnapshot(repo, path, snapshot::kVersion);
+}
+
+Status WriteRepositorySnapshot(const Repository& repo, const std::string& path,
+                               uint32_t format_version) {
+  if (format_version != snapshot::kVersion &&
+      format_version != snapshot::kVersionEager) {
+    return Status::InvalidArgument("unsupported snapshot format version: " +
+                                   std::to_string(format_version));
+  }
   if (!repo.has_pivots()) {
     // Nothing in the snapshot's geometry sections would be meaningful, and
     // the read-only backend cannot run AttachPivots later.
@@ -164,38 +332,27 @@ Status WriteRepositorySnapshot(const Repository& repo,
         "snapshot requires a repository with pivots attached");
   }
 
-  snapshot::Builder payload;
-  const int d = repo.num_attributes();
-  for (int x = 0; x < d; ++x) {
-    AppendDomain(repo, x, &payload);
+  uint64_t checksum = 0;
+  std::string payload;
+  if (format_version == snapshot::kVersion) {
+    payload = BuildPayloadV2(repo, &checksum);
+  } else {
+    payload = BuildPayloadV1(repo);
+    checksum = snapshot::Checksum(payload.data(), payload.size());
   }
-  AppendPivots(repo, &payload);
-  AppendSamples(repo, &payload);
 
   snapshot::Header header;
   std::memset(&header, 0, sizeof(header));
   std::memcpy(header.magic, snapshot::kMagic, sizeof(header.magic));
-  header.version = snapshot::kVersion;
-  header.num_attributes = static_cast<uint32_t>(d);
+  header.version = format_version;
+  header.num_attributes = static_cast<uint32_t>(repo.num_attributes());
   header.num_samples = repo.num_samples();
   header.dict_tokens = repo.dict().size();
-  header.payload_bytes = payload.bytes().size();
-  header.payload_checksum =
-      snapshot::Checksum(payload.bytes().data(), payload.bytes().size());
+  header.payload_bytes = payload.size();
+  header.payload_checksum = checksum;
   header.has_pivots = 1;
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot open snapshot file for writing: " + path);
-  }
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out.write(payload.bytes().data(),
-            static_cast<std::streamsize>(payload.bytes().size()));
-  out.flush();
-  if (!out) {
-    return Status::Internal("short write to snapshot file: " + path);
-  }
-  return Status::Ok();
+  return WriteFileAtomic(path, header, payload);
 }
 
 }  // namespace terids

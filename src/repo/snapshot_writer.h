@@ -1,6 +1,7 @@
 #ifndef TERIDS_REPO_SNAPSHOT_WRITER_H_
 #define TERIDS_REPO_SNAPSHOT_WRITER_H_
 
+#include <cstdint>
 #include <string>
 
 #include "util/status.h"
@@ -10,8 +11,17 @@ namespace terids {
 class Repository;
 
 /// Serializes `repo`'s storage into the columnar snapshot format of
-/// DESIGN.md §8 (versioned header + FNV-1a payload checksum) at `path`,
-/// ready to be opened by MmapSnapshotStorage.
+/// DESIGN.md §8 at `path`, ready to be opened by MmapSnapshotStorage.
+/// `format_version` selects the on-disk layout: snapshot::kVersion (v2,
+/// the default — section TOC with per-section checksums, lazily
+/// decodable) or snapshot::kVersionEager (v1, the legacy monolithic
+/// payload, kept writable for backward-compatibility tests and for
+/// producing files older readers accept).
+///
+/// The write is atomic: bytes land in a same-directory temp file which is
+/// flushed, fsync'd, and renamed over `path`. A crash or error mid-write
+/// leaves any existing snapshot at `path` untouched, and every error path
+/// unlinks the temp file.
 ///
 /// The writer reads exclusively through the backend-neutral Repository
 /// interface, so it works on any backend — including an mmap-backed
@@ -20,8 +30,9 @@ class Repository;
 /// from (coord, ValueId) pairs; since those pairs are distinct and the
 /// in-memory backend maintains exactly the (coord, ValueId)-ascending
 /// order, the rebuilt lists are bit-identical to the oracle's.
-Status WriteRepositorySnapshot(const Repository& repo,
-                               const std::string& path);
+Status WriteRepositorySnapshot(const Repository& repo, const std::string& path);
+Status WriteRepositorySnapshot(const Repository& repo, const std::string& path,
+                               uint32_t format_version);
 
 /// Collision-resistant path for a throwaway snapshot file under TMPDIR
 /// (or /tmp): `<dir>/<prefix>-<pid>-<random tag>-<counter>.snap`. The

@@ -11,13 +11,13 @@ void TokenArena::SetSigBits(int sig_bits) {
   words_ = SigWords(sig_bits);
 }
 
-uint32_t TokenArena::AddRange(const std::vector<Token>& tokens) {
-  TERIDS_CHECK(tokens_.size() + tokens.size() <=
+uint32_t TokenArena::AddRange(const Token* tokens, size_t n) {
+  TERIDS_CHECK(tokens_.size() + n <=
                static_cast<size_t>(static_cast<uint32_t>(-1)));
   Range r;
   r.offset = static_cast<uint32_t>(tokens_.size());
-  r.len = static_cast<uint32_t>(tokens.size());
-  tokens_.insert(tokens_.end(), tokens.begin(), tokens.end());
+  r.len = static_cast<uint32_t>(n);
+  tokens_.insert(tokens_.end(), tokens, tokens + n);
   sigs_.resize(sigs_.size() + static_cast<size_t>(words_));
   BuildTokenSignature(tokens_.data() + r.offset, r.len, sig_bits_,
                       sigs_.data() + sigs_.size() -

@@ -51,9 +51,12 @@ class TokenArena {
   int sig_bits() const { return sig_bits_; }
   int sig_words() const { return words_; }
 
-  /// Appends a copy of `tokens` (sorted, deduplicated — TokenSet order) and
+  /// Appends a copy of the sorted, deduplicated span (TokenSet order) and
   /// returns the range id. Signatures are computed here, once per range.
-  uint32_t AddRange(const std::vector<Token>& tokens);
+  uint32_t AddRange(const Token* tokens, size_t n);
+  uint32_t AddRange(const std::vector<Token>& tokens) {
+    return AddRange(tokens.data(), tokens.size());
+  }
 
   /// Appends the next slot, referring to an existing range.
   void PushSlot(uint32_t range_id);

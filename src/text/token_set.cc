@@ -12,17 +12,58 @@ TokenSet TokenSet::FromTokens(std::vector<Token> tokens) {
   std::sort(tokens.begin(), tokens.end());
   tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
   TokenSet set;
-  set.tokens_ = std::move(tokens);
+  set.owned_ = std::move(tokens);
+  set.data_ = set.owned_.data();
+  set.size_ = set.owned_.size();
   return set;
 }
 
+TokenSet TokenSet::View(const Token* data, size_t n) {
+  TokenSet set;
+  set.data_ = data;
+  set.size_ = n;
+  set.view_ = true;
+  return set;
+}
+
+void TokenSet::Assign(const TokenSet& other) {
+  owned_ = other.owned_;
+  view_ = other.view_;
+  if (view_) {
+    data_ = other.data_;
+    size_ = other.size_;
+  } else {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+}
+
+void TokenSet::Adopt(TokenSet&& other) {
+  owned_ = std::move(other.owned_);
+  view_ = other.view_;
+  if (view_) {
+    data_ = other.data_;
+    size_ = other.size_;
+  } else {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+  other.owned_.clear();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.view_ = false;
+}
+
 bool TokenSet::Contains(Token t) const {
-  return std::binary_search(tokens_.begin(), tokens_.end(), t);
+  return std::binary_search(begin(), end(), t);
 }
 
 size_t TokenSet::IntersectionSize(const TokenSet& other) const {
-  return IntersectSize(tokens_.data(), tokens_.size(), other.tokens_.data(),
-                       other.tokens_.size());
+  return IntersectSize(data_, size_, other.data_, other.size_);
+}
+
+bool TokenSet::operator==(const TokenSet& other) const {
+  return size_ == other.size_ && std::equal(begin(), end(), other.begin());
 }
 
 double JaccardSimilarity(const TokenSet& a, const TokenSet& b) {

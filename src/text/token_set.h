@@ -2,29 +2,61 @@
 #define TERIDS_TEXT_TOKEN_SET_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "text/token_dict.h"
 
 namespace terids {
 
-/// A set of interned tokens stored as a sorted, deduplicated vector.
+/// A set of interned tokens: a sorted, deduplicated run of token ids.
 ///
 /// This is the unit the similarity function of Definition 5 operates on:
 /// sim(r[A_j], r'[A_j]) = |T ∩ T'| / |T ∪ T'| (Jaccard). Intersections run
 /// through the shared span kernels of text/similarity_kernels.h (linear
 /// merge for balanced sizes, galloping for skewed ones); the refinement hot
 /// path additionally reads these sets through the flat TokenArena views.
+///
+/// A TokenSet either owns its run (FromTokens — the vector lives inside the
+/// set) or is a non-owning view over externally owned memory (View — the
+/// lazy snapshot backend serves domain token sets directly from the mmap'd
+/// token columns this way, DESIGN.md §8). The two are indistinguishable
+/// through the read interface; copying a view copies the pointer, not the
+/// tokens, so a view must not outlive the memory it was built over (for
+/// snapshot views, the MmapSnapshotStorage that maps the file).
 class TokenSet {
  public:
   TokenSet() = default;
 
-  /// Builds from an arbitrary (possibly unsorted, duplicated) token list.
+  TokenSet(const TokenSet& other) { Assign(other); }
+  TokenSet& operator=(const TokenSet& other) {
+    if (this != &other) Assign(other);
+    return *this;
+  }
+  TokenSet(TokenSet&& other) noexcept { Adopt(std::move(other)); }
+  TokenSet& operator=(TokenSet&& other) noexcept {
+    if (this != &other) Adopt(std::move(other));
+    return *this;
+  }
+
+  /// Builds an owning set from an arbitrary (possibly unsorted, duplicated)
+  /// token list.
   static TokenSet FromTokens(std::vector<Token> tokens);
 
-  size_t size() const { return tokens_.size(); }
-  bool empty() const { return tokens_.empty(); }
-  const std::vector<Token>& tokens() const { return tokens_; }
+  /// Non-owning view over `n` tokens at `data`, which must already be
+  /// sorted and deduplicated (the normalized form FromTokens produces) and
+  /// must outlive every copy of the returned set.
+  static TokenSet View(const Token* data, size_t n);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Token* data() const { return data_; }
+  const Token* begin() const { return data_; }
+  const Token* end() const { return data_ + size_; }
+  Token operator[](size_t i) const { return data_[i]; }
+
+  /// Whether this set owns its run (false for View-built sets).
+  bool owns() const { return !view_; }
 
   /// Membership test (binary search).
   bool Contains(Token t) const;
@@ -32,12 +64,17 @@ class TokenSet {
   /// |this ∩ other| (merge or gallop; identical counts either way).
   size_t IntersectionSize(const TokenSet& other) const;
 
-  bool operator==(const TokenSet& other) const {
-    return tokens_ == other.tokens_;
-  }
+  bool operator==(const TokenSet& other) const;
 
  private:
-  std::vector<Token> tokens_;
+  void Assign(const TokenSet& other);
+  void Adopt(TokenSet&& other);
+
+  // data_/size_ are the one read path; owned_ only backs them when owns().
+  std::vector<Token> owned_;
+  const Token* data_ = nullptr;
+  size_t size_ = 0;
+  bool view_ = false;
 };
 
 /// The shared empty token set: the value of every missing attribute.

@@ -126,7 +126,8 @@ void ImputedTuple::BuildTokenArena() {
     }
     const AttrValue& v = base_.values[x];
     fixed_range[x] =
-        v.missing ? empty_range : arena_.AddRange(v.tokens.tokens());
+        v.missing ? empty_range
+                  : arena_.AddRange(v.tokens.data(), v.tokens.size());
   }
 
   // Imputed attributes: one range per distinct chosen ValueId, aliased by
@@ -143,7 +144,8 @@ void ImputedTuple::BuildTokenArena() {
       const ValueId vid = instances_[inst].choices[k];
       auto [it, inserted] = vid_ranges[k].emplace(vid, 0);
       if (inserted) {
-        it->second = arena_.AddRange(repo_->value_tokens(x, vid).tokens());
+        const TokenSet& ts = repo_->value_tokens(x, vid);
+        it->second = arena_.AddRange(ts.data(), ts.size());
       }
       arena_.PushSlot(it->second);
     }

@@ -50,8 +50,7 @@ void UnionRecordTokensInto(const Record& r, std::vector<Token>* out) {
   out->clear();
   for (const AttrValue& v : r.values) {
     if (!v.missing) {
-      out->insert(out->end(), v.tokens.tokens().begin(),
-                  v.tokens.tokens().end());
+      out->insert(out->end(), v.tokens.begin(), v.tokens.end());
     }
   }
   std::sort(out->begin(), out->end());

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datagen/generator.h"
@@ -230,6 +234,255 @@ TEST_F(SnapshotCorruptionTest, ForeignDictionaryIsRejected) {
       Repository::OpenSnapshot(world_.schema.get(), &tiny, path_);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// v2 per-section integrity + lazy first-touch decode (DESIGN.md §8).
+// ---------------------------------------------------------------------------
+
+/// Byte-surgery fixture over a v2 snapshot of the health world. The TOC
+/// starts right after the header: a u64 section count, then SectionEntry
+/// records. Helpers patch entries and re-stamp the checksums the open path
+/// verifies, so each test corrupts exactly one integrity layer.
+class SnapshotV2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MakeHealthWorld();
+    path_ = TempPath("v2-lazy.snap");
+    ASSERT_TRUE(WriteRepositorySnapshot(*world_.repo, path_).ok());
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(), sizeof(snapshot::Header));
+    ASSERT_EQ(ReadU64(bytes_, 8) & 0xffffffffu, snapshot::kVersion);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static uint64_t ReadU64(const std::string& bytes, size_t at) {
+    uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + at, sizeof(v));
+    return v;
+  }
+
+  static void WriteU64(std::string* bytes, size_t at, uint64_t v) {
+    std::memcpy(&(*bytes)[at], &v, sizeof(v));
+  }
+
+  /// Byte offset (in the file) of TOC entry `i`.
+  static size_t EntryAt(size_t i) {
+    return sizeof(snapshot::Header) + sizeof(uint64_t) +
+           i * sizeof(snapshot::SectionEntry);
+  }
+
+  /// Re-stamps header.payload_checksum after a deliberate TOC edit (in v2
+  /// it covers exactly the TOC bytes), so the edit reaches the per-entry
+  /// validation instead of tripping the TOC checksum first.
+  static void RestampTocChecksum(std::string* bytes) {
+    const uint64_t count = ReadU64(*bytes, sizeof(snapshot::Header));
+    const size_t toc_bytes =
+        sizeof(uint64_t) + count * sizeof(snapshot::SectionEntry);
+    WriteU64(bytes, offsetof(snapshot::Header, payload_checksum),
+             snapshot::Checksum(bytes->data() + sizeof(snapshot::Header),
+                                toc_bytes));
+  }
+
+  void Rewrite(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  Result<std::unique_ptr<Repository>> Open(SnapshotDecode decode) {
+    return Repository::OpenSnapshot(world_.schema.get(), world_.dict.get(),
+                                    path_, decode);
+  }
+
+  /// The corruption shared by the eager/lazy detection pair: one flipped
+  /// byte inside the body of the first domain section (attribute 0).
+  std::string CorruptFirstDomainSection() {
+    std::string corrupt = bytes_;
+    const uint64_t offset =
+        ReadU64(corrupt, EntryAt(0) + 2 * sizeof(uint64_t));
+    corrupt[sizeof(snapshot::Header) + offset + 5] ^= 0x20;
+    return corrupt;
+  }
+
+  ToyWorld world_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotV2Test, EagerAndLazyServeIdenticalBytes) {
+  for (SnapshotDecode decode :
+       {SnapshotDecode::kEager, SnapshotDecode::kLazy}) {
+    Result<std::unique_ptr<Repository>> reopened = Open(decode);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ExpectBitIdenticalReads(*world_.repo, **reopened);
+  }
+}
+
+TEST_F(SnapshotV2Test, CorruptSectionBodyFailsEagerOpen) {
+  Rewrite(CorruptFirstDomainSection());
+  Result<std::unique_ptr<Repository>> r = Open(SnapshotDecode::kEager);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SnapshotV2Test, CorruptSectionBodyDiesOnFirstLazyTouch) {
+  Rewrite(CorruptFirstDomainSection());
+  // A lazy open validates only the header + TOC, so it must succeed...
+  Result<std::unique_ptr<Repository>> r = Open(SnapshotDecode::kLazy);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // ...and TOC-aux metadata is served without decoding the bad section...
+  EXPECT_EQ((*r)->domain_size(0), world_.repo->domain_size(0));
+  EXPECT_EQ((*r)->num_samples(), world_.repo->num_samples());
+  // ...but the first read into the section must die on its checksum, not
+  // serve corrupt bytes.
+  EXPECT_DEATH((*r)->value_tokens(0, 0), "checksum");
+}
+
+TEST_F(SnapshotV2Test, TocOffsetOutOfBoundsRejectedAtOpen) {
+  std::string corrupt = bytes_;
+  WriteU64(&corrupt, EntryAt(0) + 2 * sizeof(uint64_t), uint64_t{1} << 40);
+  RestampTocChecksum(&corrupt);
+  Rewrite(corrupt);
+  for (SnapshotDecode decode :
+       {SnapshotDecode::kEager, SnapshotDecode::kLazy}) {
+    Result<std::unique_ptr<Repository>> r = Open(decode);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("out of bounds"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST_F(SnapshotV2Test, TruncationMidSectionRejectedAtOpen) {
+  // Cut into the last section's body while keeping header.payload_bytes
+  // consistent with the shortened file, so only the TOC bounds validation
+  // stands between a lazy open and a wild read later.
+  std::string corrupt = bytes_.substr(0, bytes_.size() - 16);
+  WriteU64(&corrupt, offsetof(snapshot::Header, payload_bytes),
+           corrupt.size() - sizeof(snapshot::Header));
+  Rewrite(corrupt);
+  Result<std::unique_ptr<Repository>> r = Open(SnapshotDecode::kLazy);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of bounds"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SnapshotV2Test, ConcurrentFirstTouchServesConsistentBytes) {
+  // Two threads race every lazily-decoded surface of a cold snapshot: the
+  // once_flag-guarded decodes must produce one consistent image (this is
+  // the TSan target for the first-touch path; see ci.yml).
+  Result<std::unique_ptr<Repository>> r = Open(SnapshotDecode::kLazy);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Repository& snap = **r;
+  const int d = snap.num_attributes();
+  auto touch = [&]() {
+    uint64_t sum = 0;
+    for (int x = 0; x < d; ++x) {
+      sum += snap.value_tokens(x, 0).size();
+      sum += snap.FindValue(x, world_.repo->value_tokens(x, 0));
+      sum += static_cast<uint64_t>(snap.value_frequency(x, 0));
+      sum += snap.value_text(x, 0).size();
+      for (int a = 0; a < snap.num_pivots(x); ++a) {
+        sum += static_cast<uint64_t>(1e6 * snap.pivot_distance(x, a, 0));
+        sum += snap.pivot_tokens(x, a).size();
+      }
+      sum += snap.ValuesInCoordRange(x, Interval::Of(0.0, 1.0)).size();
+    }
+    sum += static_cast<uint64_t>(snap.sample(0).rid);
+    return sum;
+  };
+  uint64_t sums[2] = {0, 0};
+  std::thread t0([&] { sums[0] = touch(); });
+  std::thread t1([&] { sums[1] = touch(); });
+  t0.join();
+  t1.join();
+  EXPECT_EQ(sums[0], sums[1]);
+  ExpectBitIdenticalReads(*world_.repo, snap);
+}
+
+// ---------------------------------------------------------------------------
+// v1 backward compatibility: old files stay readable, always eagerly.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotV1CompatTest, V1FileRoundTripsBitIdentically) {
+  GeneratedWorld world = MakeGeneratedWorld();
+  const std::string path = TempPath("v1compat.snap");
+  ASSERT_TRUE(
+      WriteRepositorySnapshot(*world.repo, path, snapshot::kVersionEager)
+          .ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    uint32_t version = 0;
+    in.seekg(8);
+    in.read(reinterpret_cast<char*>(&version), sizeof(version));
+    ASSERT_EQ(version, snapshot::kVersionEager);
+  }
+  // Lazy decode is requested, but v1 files always materialize at open —
+  // the request must not break them.
+  Result<std::unique_ptr<Repository>> reopened =
+      Repository::OpenSnapshot(world.dataset.schema.get(),
+                               world.dataset.dict.get(), path,
+                               SnapshotDecode::kLazy);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectBitIdenticalReads(*world.repo, **reopened);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Atomic write: a snapshot path either holds a complete snapshot or
+// nothing; temp files never survive.
+// ---------------------------------------------------------------------------
+
+int CountTempSiblings(const std::string& target) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(target).parent_path();
+  const std::string prefix = fs::path(target).filename().string() + ".tmp-";
+  int n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(SnapshotWriterAtomicityTest, SuccessLeavesNoTempSibling) {
+  ToyWorld world = MakeHealthWorld();
+  const std::string path = TempPath("atomic-ok.snap");
+  ASSERT_TRUE(WriteRepositorySnapshot(*world.repo, path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(CountTempSiblings(path), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriterAtomicityTest, FailedRenameUnlinksTemp) {
+  ToyWorld world = MakeHealthWorld();
+  // The target is an existing directory, so the final rename must fail
+  // after the temp file was fully written — the error path has to unlink
+  // it and leave the directory untouched.
+  const std::string dir = TempPath("atomic-dir.snap");
+  std::filesystem::create_directory(dir);
+  const Status status = WriteRepositorySnapshot(*world.repo, dir);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  EXPECT_EQ(CountTempSiblings(dir), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotWriterAtomicityTest, UnwritableTargetFailsCleanly) {
+  ToyWorld world = MakeHealthWorld();
+  const Status status = WriteRepositorySnapshot(
+      *world.repo, TempPath("no-such-dir") + "/orphan.snap");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(SnapshotWriterAtomicityTest, UnknownFormatVersionIsRejected) {
+  ToyWorld world = MakeHealthWorld();
+  const std::string path = TempPath("badversion.snap");
+  const Status status = WriteRepositorySnapshot(*world.repo, path, 7);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 // ---------------------------------------------------------------------------

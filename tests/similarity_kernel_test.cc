@@ -93,12 +93,14 @@ TEST(SimilarityKernelTest, IntersectionAlgorithmsAgreeWithSeedOracle) {
       const Token universe = rep % 2 == 0 ? 64 : 100000;
       const TokenSet a = TokenSet::FromTokens(RandomTokens(&rng, la, universe));
       const TokenSet b = TokenSet::FromTokens(RandomTokens(&rng, lb, universe));
-      const size_t seed = SeedIntersectionSize(a.tokens(), b.tokens());
-      EXPECT_EQ(IntersectLinear(a.tokens().data(), a.size(),
-                                b.tokens().data(), b.size()),
+      const size_t seed =
+          SeedIntersectionSize(std::vector<Token>(a.begin(), a.end()),
+                               std::vector<Token>(b.begin(), b.end()));
+      EXPECT_EQ(IntersectLinear(a.data(), a.size(),
+                                b.data(), b.size()),
                 seed);
-      EXPECT_EQ(IntersectGallop(a.tokens().data(), a.size(),
-                                b.tokens().data(), b.size()),
+      EXPECT_EQ(IntersectGallop(a.data(), a.size(),
+                                b.data(), b.size()),
                 seed);
       EXPECT_EQ(a.IntersectionSize(b), seed);  // the adaptive dispatch
     }
@@ -111,8 +113,8 @@ TEST(SimilarityKernelTest, SignatureBoundDominatesExactIntersection) {
     const Token universe = rep % 3 == 0 ? 32 : 5000;
     const TokenSet a = TokenSet::FromTokens(RandomTokens(&rng, 120, universe));
     const TokenSet b = TokenSet::FromTokens(RandomTokens(&rng, 120, universe));
-    const uint64_t sa = TokenSignature(a.tokens().data(), a.size());
-    const uint64_t sb = TokenSignature(b.tokens().data(), b.size());
+    const uint64_t sa = TokenSignature(a.data(), a.size());
+    const uint64_t sb = TokenSignature(b.data(), b.size());
     const size_t exact = a.IntersectionSize(b);
     const size_t bound = SigIntersectionUpperBound(a.size(), sa, b.size(), sb);
     ASSERT_GE(bound, exact);
@@ -141,8 +143,8 @@ TEST(SimilarityKernelTest, SignatureBoundSoundAndMonotoneAcrossWidths) {
     for (const int bits : widths) {
       uint64_t sa[kMaxSigWords];
       uint64_t sb[kMaxSigWords];
-      BuildTokenSignature(a.tokens().data(), a.size(), bits, sa);
-      BuildTokenSignature(b.tokens().data(), b.size(), bits, sb);
+      BuildTokenSignature(a.data(), a.size(), bits, sa);
+      BuildTokenSignature(b.data(), b.size(), bits, sb);
       const int words = SigWords(bits);
       const size_t bound =
           SigIntersectionUpperBound(a.size(), sa, b.size(), sb, words);
@@ -157,7 +159,7 @@ TEST(SimilarityKernelTest, SignatureBoundSoundAndMonotoneAcrossWidths) {
         // The legacy single-word overloads are the words=1 special case.
         ASSERT_EQ(bound,
                   SigIntersectionUpperBound(a.size(), sa[0], b.size(), sb[0]));
-        ASSERT_EQ(sa[0], TokenSignature(a.tokens().data(), a.size()));
+        ASSERT_EQ(sa[0], TokenSignature(a.data(), a.size()));
       }
     }
   }
@@ -261,8 +263,8 @@ TEST(SimilarityKernelTest, BatchedFilterMatchesPerPairPassOne) {
           len_b.push_back(static_cast<uint32_t>(b.size()));
           uint64_t wa[kMaxSigWords];
           uint64_t wb[kMaxSigWords];
-          BuildTokenSignature(a.tokens().data(), a.size(), bits, wa);
-          BuildTokenSignature(b.tokens().data(), b.size(), bits, wb);
+          BuildTokenSignature(a.data(), a.size(), bits, wa);
+          BuildTokenSignature(b.data(), b.size(), bits, wb);
           sig_a.insert(sig_a.end(), wa, wa + words);
           sig_b.insert(sig_b.end(), wb, wb + words);
         }
@@ -307,8 +309,8 @@ TEST(SimilarityKernelTest, SignatureDetectsDisjointBitsets) {
   }
   const TokenSet a = TokenSet::FromTokens(a_toks);
   const TokenSet b = TokenSet::FromTokens(b_toks);
-  const uint64_t sa = TokenSignature(a.tokens().data(), a.size());
-  const uint64_t sb = TokenSignature(b.tokens().data(), b.size());
+  const uint64_t sa = TokenSignature(a.data(), a.size());
+  const uint64_t sb = TokenSignature(b.data(), b.size());
   EXPECT_EQ(sa & sb, 0u);
   EXPECT_EQ(SigIntersectionUpperBound(a.size(), sa, b.size(), sb), 0u);
   EXPECT_EQ(a.IntersectionSize(b), 0u);
@@ -333,7 +335,7 @@ TEST(SimilarityKernelTest, ArenaViewsMatchInstanceTokens) {
         const TokenSet& expect = tuple.instance_tokens(m, k);
         const TokenView view = tuple.instance_token_view(m, k);
         ASSERT_EQ(view.len, expect.size());
-        EXPECT_TRUE(std::equal(expect.tokens().begin(), expect.tokens().end(),
+        EXPECT_TRUE(std::equal(expect.begin(), expect.end(),
                                view.data));
         uint64_t want[kMaxSigWords];
         BuildTokenSignature(view.data, view.len, bits, want);
@@ -351,14 +353,14 @@ TEST(SimilarityKernelTest, ArenaViewsMatchInstanceTokens) {
   std::vector<Token> expect_union;
   for (const AttrValue& v : r.values) {
     if (!v.missing) {
-      expect_union.insert(expect_union.end(), v.tokens.tokens().begin(),
-                          v.tokens.tokens().end());
+      expect_union.insert(expect_union.end(), v.tokens.begin(),
+                          v.tokens.end());
     }
   }
   const TokenSet union_set = TokenSet::FromTokens(expect_union);
   const TokenView union_view = tuple.union_token_view();
   ASSERT_EQ(union_view.len, union_set.size());
-  EXPECT_TRUE(std::equal(union_set.tokens().begin(), union_set.tokens().end(),
+  EXPECT_TRUE(std::equal(union_set.begin(), union_set.end(),
                          union_view.data));
 }
 

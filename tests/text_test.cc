@@ -68,7 +68,8 @@ TEST(TokenizerTest, EmptyInputYieldsEmptySet) {
 TEST(TokenSetTest, FromTokensSortsAndDedups) {
   TokenSet set = TokenSet::FromTokens({5, 1, 3, 1, 5});
   ASSERT_EQ(set.size(), 3u);
-  EXPECT_EQ(set.tokens(), (std::vector<Token>{1, 3, 5}));
+  EXPECT_EQ(std::vector<Token>(set.begin(), set.end()),
+            (std::vector<Token>{1, 3, 5}));
 }
 
 TEST(TokenSetTest, IntersectionSize) {
