@@ -57,3 +57,21 @@ if [[ $docs_ok -ne 1 ]]; then
   echo "error: README.md execution-knob table is out of date (see above)" >&2
   exit 1
 fi
+
+# ---------------------------------------------------------------------------
+# Thread-safety annotation hygiene: every file must use the shared TERIDS_*
+# macros from src/util/thread_annotations.h, never the raw clang attributes.
+# Raw spellings bypass the central gcc no-op gating and fragment the
+# annotation vocabulary DESIGN.md §12 documents.
+# ---------------------------------------------------------------------------
+raw_attrs=$(grep -rnE '__attribute__\(\((capability|scoped_lockable|guarded_by|pt_guarded_by|acquired_(before|after)|(acquire|release|try_acquire)_(shared_)?capability|requires_(shared_)?capability|locks_excluded|assert_(shared_)?capability|lock_returned|no_thread_safety_analysis)' \
+  --include='*.h' --include='*.cc' --include='*.cpp' \
+  src tests bench examples |
+  grep -v '^src/util/thread_annotations.h:' || true)
+
+if [[ -n "$raw_attrs" ]]; then
+  echo "error: raw thread-safety attributes found; use the TERIDS_* macros" >&2
+  echo "       from src/util/thread_annotations.h instead:" >&2
+  echo "$raw_attrs" >&2
+  exit 1
+fi

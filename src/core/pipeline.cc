@@ -1,14 +1,13 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "er/probability.h"
 #include "stream/batch_queue.h"
 #include "text/similarity_kernels.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace terids {
@@ -465,14 +464,17 @@ size_t PipelineBase::ProcessStreamScheduled(StreamDriver* driver,
   // because its own fan-outs self-drain.
   BatchQueue<IngestedBatch> queue(
       static_cast<size_t>(config_.ingest_queue_depth));
-  std::mutex chain_mu;
-  std::condition_variable chain_cv;
+  // Chain-completion latch (rank kPipelineChain: acquired alone, never
+  // nested with the queue's or the scheduler's mutex — a chain link holds
+  // no lock when it runs).
+  Mutex chain_mu(lock_rank::kPipelineChain);
+  CondVar chain_cv;
   bool chain_done = false;
   size_t ingested = 0;
   const auto finish_chain = [&] {
-    std::lock_guard<std::mutex> lock(chain_mu);
+    MutexLock lock(&chain_mu);
     chain_done = true;
-    chain_cv.notify_all();
+    chain_cv.NotifyAll();
   };
   std::function<void()> link;
   link = [&] {
@@ -536,12 +538,16 @@ size_t PipelineBase::ProcessStreamScheduled(StreamDriver* driver,
     // returns false, ending the chain within one link) and wait for the
     // final link to retire before unwinding.
     queue.Cancel();
-    std::unique_lock<std::mutex> lock(chain_mu);
-    chain_cv.wait(lock, [&] { return chain_done; });
+    MutexLock lock(&chain_mu);
+    while (!chain_done) {
+      chain_cv.Wait(&chain_mu);
+    }
     throw;
   }
-  std::unique_lock<std::mutex> lock(chain_mu);
-  chain_cv.wait(lock, [&] { return chain_done; });
+  MutexLock lock(&chain_mu);
+  while (!chain_done) {
+    chain_cv.Wait(&chain_mu);
+  }
   return processed;
 }
 

@@ -95,7 +95,10 @@ void ClassifyTasks(const std::vector<RefinementExecutor::Task>& tasks,
   batch.sig_b = sig_b.data();
   thread_local std::vector<uint64_t> survivors;
   survivors.assign((eligible.size() + 63) / 64, 0);
-  SigFilterCandidates(batch, gamma, survivors.data());
+  const size_t survivor_count =
+      SigFilterCandidates(batch, gamma, survivors.data());
+  heavy->reserve(heavy->size() + survivor_count);
+  light->reserve(light->size() + (eligible.size() - survivor_count));
   for (size_t j = 0; j < eligible.size(); ++j) {
     if ((survivors[j >> 6] >> (j & 63)) & 1) {
       heavy->push_back(eligible[j]);

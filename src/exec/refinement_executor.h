@@ -31,6 +31,14 @@ namespace terids {
 /// every task still runs the unchanged Evaluate — so outputs and stats are
 /// bit-identical with the prefilter active, inactive (signature_filter
 /// off), or on the sequential path (which never runs it).
+///
+/// Locking model (DESIGN.md §12): the executor itself holds no mutex. Task
+/// inputs are immutable for the duration of Run, each worker writes only
+/// its disjoint evaluation slots (plus thread_local scratch), and the
+/// synchronization lives entirely inside the executor it dispatches on —
+/// the private pool's kThreadPool mutex or the shared scheduler's
+/// kScheduler mutex — whose fork/join barrier publishes the slots back to
+/// the caller.
 class RefinementExecutor {
  public:
   /// One pair to evaluate: an arriving probe tuple against one window

@@ -51,13 +51,13 @@ Scheduler::Scheduler(int num_workers) : num_workers_(num_workers) {
 
 Scheduler::~Scheduler() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Let the workers run everything still queued before they exit: shutdown
     // only stops them once the queue is empty (see WorkerLoop), so no
     // submitted item is ever dropped.
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (auto& t : workers_) {
     t.join();
   }
@@ -65,15 +65,14 @@ Scheduler::~Scheduler() {
 
 void Scheduler::Enqueue(std::shared_ptr<Job> job) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     TERIDS_CHECK(!shutdown_);
     queue_.push_back(std::move(job));
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
 }
 
 bool Scheduler::ClaimTask(std::shared_ptr<Job>* job, int64_t* task) {
-  // Caller holds mu_.
   while (!queue_.empty() && queue_.front()->next >= queue_.front()->total) {
     queue_.pop_front();
   }
@@ -101,11 +100,11 @@ void Scheduler::RunTask(const std::shared_ptr<Job>& job, int64_t task,
     ring->Record(job->phase, NowNanos() - start);
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++job->finished;
     --in_flight_;
   }
-  job_done_.notify_all();
+  job_done_.NotifyAll();
 }
 
 void Scheduler::WorkerLoop(int worker_index) {
@@ -114,8 +113,10 @@ void Scheduler::WorkerLoop(int worker_index) {
     std::shared_ptr<Job> job;
     int64_t task = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) {
+        work_ready_.Wait(&mu_);
+      }
       if (!ClaimTask(&job, &task)) {
         if (shutdown_) {
           return;  // queue drained, nothing left to run
@@ -136,7 +137,7 @@ void Scheduler::ParallelFor(ExecPhase phase, int64_t num_tasks,
     // Nothing to fan out; run inline (still recorded as a phase sample).
     const uint64_t start = NowNanos();
     fn(0);
-    std::unique_lock<std::mutex> lock(ext_mu_);
+    MutexLock lock(&ext_mu_);
     rings_.back().Record(phase, NowNanos() - start);
     return;
   }
@@ -153,7 +154,7 @@ void Scheduler::ParallelFor(ExecPhase phase, int64_t num_tasks,
   for (;;) {
     int64_t task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (job->next >= job->total) {
         break;
       }
@@ -174,7 +175,7 @@ void Scheduler::ParallelFor(ExecPhase phase, int64_t num_tasks,
       fn(task);
     } catch (...) {
       // Cancel the unclaimed remainder, wait out in-flight tasks, rethrow.
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       job->total = job->next;
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         if (it->get() == job.get()) {
@@ -184,24 +185,28 @@ void Scheduler::ParallelFor(ExecPhase phase, int64_t num_tasks,
       }
       ++job->finished;
       --in_flight_;
-      job_done_.wait(lock, [&job] { return job->IsDone(); });
+      while (!job->IsDone()) {
+        job_done_.Wait(&mu_);
+      }
       throw;
     }
     const uint64_t elapsed = NowNanos() - start;
     {
-      std::unique_lock<std::mutex> lock(ext_mu_);
+      MutexLock lock(&ext_mu_);
       rings_.back().Record(phase, elapsed);
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++job->finished;
       --in_flight_;
     }
-    job_done_.notify_all();
+    job_done_.NotifyAll();
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  job_done_.wait(lock, [&job] { return job->IsDone(); });
+  MutexLock lock(&mu_);
+  while (!job->IsDone()) {
+    job_done_.Wait(&mu_);
+  }
 }
 
 void Scheduler::Submit(ExecPhase phase, std::function<void()> fn) {
@@ -212,19 +217,23 @@ void Scheduler::Submit(ExecPhase phase, std::function<void()> fn) {
   Enqueue(std::move(job));
 }
 
-void Scheduler::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  job_done_.wait(lock, [this] {
-    if (in_flight_ > 0) {
+bool Scheduler::QuiescedLocked() const {
+  if (in_flight_ > 0) {
+    return false;
+  }
+  for (const auto& job : queue_) {
+    if (job->next < job->total) {
       return false;
     }
-    for (const auto& job : queue_) {
-      if (job->next < job->total) {
-        return false;
-      }
-    }
-    return true;
-  });
+  }
+  return true;
+}
+
+void Scheduler::Drain() {
+  MutexLock lock(&mu_);
+  while (!QuiescedLocked()) {
+    job_done_.Wait(&mu_);
+  }
 }
 
 LatencyStats Scheduler::ConsumeLatencies() {
@@ -233,12 +242,12 @@ LatencyStats Scheduler::ConsumeLatencies() {
   // Workers are idle (Drain) and stay idle unless someone submits, which
   // the contract forbids during collection; mu_/job_done_ in RunTask gave
   // us the happens-before edge for their rings.
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (int i = 0; i < num_workers_; ++i) {
     rings_[i].FoldInto(&out);
   }
   {
-    std::unique_lock<std::mutex> ext(ext_mu_);
+    MutexLock ext(&ext_mu_);
     rings_.back().FoldInto(&out);
   }
   return out;

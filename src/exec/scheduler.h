@@ -1,16 +1,16 @@
 #ifndef TERIDS_EXEC_SCHEDULER_H_
 #define TERIDS_EXEC_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "eval/latency_histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace terids {
 
@@ -41,6 +41,14 @@ namespace terids {
 /// Determinism: which worker runs which task is nondeterministic; callers
 /// needing deterministic output must write into per-task slots exactly as
 /// with ThreadPool (RefinementExecutor, ShardedErGrid do).
+///
+/// Locking model (DESIGN.md §12): the submission queue, the in-flight
+/// count, and the shutdown flag are guarded by `mu_` (rank
+/// lock_rank::kScheduler); the external callers' latency ring is guarded by
+/// `ext_mu_` (rank kLatencyRing, the one mutex legitimately acquired while
+/// holding `mu_` — ConsumeLatencies). Work items always run with both
+/// released, so an item may take lower-ranked locks (the ingest chain's
+/// BatchQueue push).
 class Scheduler {
  public:
   /// Spawns `num_workers` >= 1 persistent workers. (A zero-worker scheduler
@@ -93,7 +101,10 @@ class Scheduler {
   /// a detached single item (total == 1, `single` set). Lifetime is managed
   /// by shared_ptr: the queue and every claiming worker hold references, so
   /// a detached job dies with its last task and a fork-join job lives on
-  /// the caller's stack frame past the barrier.
+  /// the caller's stack frame past the barrier. The mutable counters
+  /// (`next`, `total`, `finished`) are guarded by the owning scheduler's
+  /// `mu_` — expressed here as a comment rather than an annotation because
+  /// the analysis cannot name another object's member as the capability.
   struct Job {
     ExecPhase phase = ExecPhase::kIngest;
     const std::function<void(int64_t)>* fn = nullptr;
@@ -122,31 +133,38 @@ class Scheduler {
   };
 
   void WorkerLoop(int worker_index);
-  /// Claims the front job's next task under `mu_` (popping the job once
-  /// fully claimed); returns false when the queue is empty.
-  bool ClaimTask(std::shared_ptr<Job>* job, int64_t* task);
+  /// Claims the front job's next task (popping the job once fully
+  /// claimed); returns false when the queue is empty.
+  bool ClaimTask(std::shared_ptr<Job>* job, int64_t* task)
+      TERIDS_REQUIRES(mu_);
   /// Runs one claimed task, records its service time into `ring`, and
-  /// settles the job's completion under `mu_`.
+  /// settles the job's completion under `mu_`. Called with `mu_` released.
   void RunTask(const std::shared_ptr<Job>& job, int64_t task,
                LatencyRing* ring);
   void Enqueue(std::shared_ptr<Job> job);
+  /// True when nothing is in flight and nothing claimable remains queued.
+  bool QuiescedLocked() const TERIDS_REQUIRES(mu_);
 
   const int num_workers_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;  // queue became non-empty / shutdown
-  std::condition_variable job_done_;    // some job finished a task batch
-  std::deque<std::shared_ptr<Job>> queue_;
-  int64_t in_flight_ = 0;  // claimed-but-unfinished tasks, all jobs
-  bool shutdown_ = false;
+  Mutex mu_{lock_rank::kScheduler};
+  CondVar work_ready_;  // queue became non-empty / shutdown
+  CondVar job_done_;    // some job finished a task batch
+  std::deque<std::shared_ptr<Job>> queue_ TERIDS_GUARDED_BY(mu_);
+  // Claimed-but-unfinished tasks, all jobs.
+  int64_t in_flight_ TERIDS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ TERIDS_GUARDED_BY(mu_) = false;
 
-  // Ring 0..num_workers-1 belong to the workers (single-writer, lock-free);
-  // the last ring is shared by every external ParallelFor caller and
-  // guarded by `ext_mu_` (caller participation is rare enough that one
-  // mutex beats per-thread registration).
+  // Ring 0..num_workers-1 belong to the workers (single-writer, lock-free;
+  // ConsumeLatencies reads them under `mu_` after Drain quiesced the
+  // workers); the last ring is shared by every external ParallelFor caller
+  // and guarded by `ext_mu_` (caller participation is rare enough that one
+  // mutex beats per-thread registration). Not TERIDS_GUARDED_BY: elements
+  // of one vector split between the single-writer discipline and `ext_mu_`,
+  // which the per-member annotation cannot express.
   std::vector<LatencyRing> rings_;
-  std::mutex ext_mu_;
+  Mutex ext_mu_{lock_rank::kLatencyRing};
 };
 
 }  // namespace terids

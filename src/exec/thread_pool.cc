@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(int concurrency)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -27,10 +27,10 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this, seen_epoch] {
-        return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
-      });
+      MutexLock lock(&mu_);
+      while (!(shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch))) {
+        work_ready_.Wait(&mu_);
+      }
       if (shutdown_) {
         return;
       }
@@ -45,7 +45,7 @@ void ThreadPool::DrainCurrentJob() {
     int64_t task;
     const std::function<void(int64_t)>* fn;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (job_ == nullptr || next_task_ >= tasks_total_) {
         return;
       }
@@ -54,10 +54,10 @@ void ThreadPool::DrainCurrentJob() {
     }
     (*fn)(task);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (++tasks_finished_ == tasks_total_) {
         job_ = nullptr;
-        job_done_.notify_all();
+        job_done_.NotifyAll();
       }
     }
   }
@@ -75,7 +75,7 @@ void ThreadPool::ParallelFor(int64_t num_tasks,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     TERIDS_CHECK(job_ == nullptr);  // one ParallelFor at a time
     job_ = &fn;
     ++job_epoch_;
@@ -83,10 +83,12 @@ void ThreadPool::ParallelFor(int64_t num_tasks,
     tasks_total_ = num_tasks;
     tasks_finished_ = 0;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   DrainCurrentJob();  // the caller participates
-  std::unique_lock<std::mutex> lock(mu_);
-  job_done_.wait(lock, [this] { return job_ == nullptr; });
+  MutexLock lock(&mu_);
+  while (job_ != nullptr) {
+    job_done_.Wait(&mu_);
+  }
 }
 
 }  // namespace terids

@@ -1,12 +1,13 @@
 #ifndef TERIDS_EXEC_THREAD_POOL_H_
 #define TERIDS_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace terids {
 
@@ -31,6 +32,10 @@ namespace terids {
 /// thread runs which task is nondeterministic, so callers that need
 /// deterministic output must write results into per-task slots, as
 /// RefinementExecutor does.
+///
+/// Locking model (DESIGN.md §12): every mutable member is guarded by `mu_`
+/// (rank lock_rank::kThreadPool); tasks always run with `mu_` released, so
+/// a task body may take lower-ranked locks (it holds none).
 class ThreadPool {
  public:
   /// `concurrency` <= 1 means inline execution (no worker threads).
@@ -50,21 +55,23 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  /// Claims and runs tasks of the current job until none are left.
+  /// Claims and runs tasks of the current job until none are left. Called
+  /// with `mu_` released; locks it per claim and per completion.
   void DrainCurrentJob();
 
   const int concurrency_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable job_done_;
-  const std::function<void(int64_t)>* job_ = nullptr;  // null = no job
-  uint64_t job_epoch_ = 0;
-  int64_t next_task_ = 0;
-  int64_t tasks_total_ = 0;
-  int64_t tasks_finished_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{lock_rank::kThreadPool};
+  CondVar work_ready_;
+  CondVar job_done_;
+  const std::function<void(int64_t)>* job_ TERIDS_GUARDED_BY(mu_) =
+      nullptr;  // null = no job
+  uint64_t job_epoch_ TERIDS_GUARDED_BY(mu_) = 0;
+  int64_t next_task_ TERIDS_GUARDED_BY(mu_) = 0;
+  int64_t tasks_total_ TERIDS_GUARDED_BY(mu_) = 0;
+  int64_t tasks_finished_ TERIDS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ TERIDS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace terids

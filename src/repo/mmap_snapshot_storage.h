@@ -178,6 +178,17 @@ class MmapSnapshotStorage final : public RepoStorage {
 
   // Lazily-filled base image. `mutable` + once_flags: the base is
   // logically immutable, its materialization is just deferred.
+  //
+  // Locking model (DESIGN.md §12): the lazy decode state is guarded by the
+  // once_flags below, not by a Mutex — std::call_once is the one primitive
+  // here the capability analysis cannot model, so the discipline is
+  // structural and narrow: Decode*/BuildFindIndex write these members
+  // exclusively from inside their call_once; every reader calls the
+  // matching Ensure* first; and after the call_once returns the base is
+  // read-only forever. call_once never runs user code while holding a
+  // ranked lock (Ensure* are called from read accessors only), so it
+  // cannot participate in a rank cycle. The write path (overlay_ etc.)
+  // stays single-threaded by contract, unchanged.
   mutable std::vector<BaseDomain> base_;
   mutable std::vector<AttributePivots> pivots_;
   mutable std::vector<Record> base_records_;

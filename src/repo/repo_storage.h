@@ -42,29 +42,29 @@ class RepoStorage {
 
   // ---- Domains ---------------------------------------------------------
 
-  virtual size_t domain_size(int attr) const = 0;
-  virtual const TokenSet& value_tokens(int attr, ValueId id) const = 0;
+  [[nodiscard]] virtual size_t domain_size(int attr) const = 0;
+  [[nodiscard]] virtual const TokenSet& value_tokens(int attr, ValueId id) const = 0;
   /// Display text of a domain value. Returned as a view so snapshot
   /// backends can serve it straight from the mapped text blob; it stays
   /// valid for the storage's lifetime.
-  virtual std::string_view value_text(int attr, ValueId id) const = 0;
-  virtual int value_frequency(int attr, ValueId id) const = 0;
+  [[nodiscard]] virtual std::string_view value_text(int attr, ValueId id) const = 0;
+  [[nodiscard]] virtual int value_frequency(int attr, ValueId id) const = 0;
   /// Id of an existing value of dom(attr) with this exact token set, or
   /// kInvalidValueId.
-  virtual ValueId FindValue(int attr, const TokenSet& tokens) const = 0;
+  [[nodiscard]] virtual ValueId FindValue(int attr, const TokenSet& tokens) const = 0;
 
   // ---- Samples ---------------------------------------------------------
 
-  virtual size_t num_samples() const = 0;
-  virtual const Record& sample(size_t i) const = 0;
-  virtual ValueId sample_value_id(size_t i, int attr) const = 0;
+  [[nodiscard]] virtual size_t num_samples() const = 0;
+  [[nodiscard]] virtual const Record& sample(size_t i) const = 0;
+  [[nodiscard]] virtual ValueId sample_value_id(size_t i, int attr) const = 0;
 
   // ---- Pivot geometry --------------------------------------------------
 
-  virtual bool has_pivots() const = 0;
-  virtual int num_pivots(int attr) const = 0;
-  virtual const TokenSet& pivot_tokens(int attr, int pivot_idx) const = 0;
-  virtual double pivot_distance(int attr, int pivot_idx,
+  [[nodiscard]] virtual bool has_pivots() const = 0;
+  [[nodiscard]] virtual int num_pivots(int attr) const = 0;
+  [[nodiscard]] virtual const TokenSet& pivot_tokens(int attr, int pivot_idx) const = 0;
+  [[nodiscard]] virtual double pivot_distance(int attr, int pivot_idx,
                                 ValueId vid) const = 0;
   /// Appends, in ascending (coordinate, ValueId) order, every domain value
   /// of `attr` whose main-pivot coordinate lies in [interval.lo,
@@ -86,7 +86,7 @@ class RepoStorage {
                             std::vector<ValueId> vids) = 0;
   /// Whether AttachPivots may be called (false for snapshot backends, whose
   /// pivot geometry is baked into the file at write time).
-  virtual bool SupportsAttachPivots() const = 0;
+  [[nodiscard]] virtual bool SupportsAttachPivots() const = 0;
   virtual void AttachPivots(std::vector<AttributePivots> pivots) = 0;
 };
 

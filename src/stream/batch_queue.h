@@ -1,12 +1,12 @@
 #ifndef TERIDS_STREAM_BATCH_QUEUE_H_
 #define TERIDS_STREAM_BATCH_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace terids {
 
@@ -29,6 +29,10 @@ namespace terids {
 /// the producer's window/grid/imputer mutations visible to the consumer
 /// (and, in scheduler mode, chains the edge from one kIngest link's worker
 /// to the next).
+///
+/// Locking model (DESIGN.md §12): all mutable state is guarded by `mu_`
+/// (rank lock_rank::kBatchQueue, the lowest rank — nothing may be acquired
+/// while holding it, and a scheduler worker pushing here holds no lock).
 template <typename T>
 class BatchQueue {
  public:
@@ -46,66 +50,69 @@ class BatchQueue {
   /// (which tells the producer to stop) or the queue has been Closed: after
   /// end-of-stream was signalled no further item can precede it, so a late
   /// Push is rejected like the Cancel path instead of tripping an invariant
-  /// check only after winning the not-full wait.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
-      return items_.size() < capacity_ || cancelled_ || closed_;
-    });
+  /// check only after winning the not-full wait. The result must be
+  /// checked: a false return means the item was dropped and the producer
+  /// has to stop.
+  [[nodiscard]] bool Push(T item) {
+    MutexLock lock(&mu_);
+    while (!(items_.size() < capacity_ || cancelled_ || closed_)) {
+      not_full_.Wait(&mu_);
+    }
     if (cancelled_ || closed_) {
       return false;
     }
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Dequeues into `*out`, blocking while the queue is empty and not yet
   /// closed. Returns false once the queue is closed and drained, or
   /// immediately after Cancel. Single-consumer: exactly one thread pops.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(
-        lock, [this] { return !items_.empty() || closed_ || cancelled_; });
+  [[nodiscard]] bool Pop(T* out) {
+    MutexLock lock(&mu_);
+    while (!(!items_.empty() || closed_ || cancelled_)) {
+      not_empty_.Wait(&mu_);
+    }
     if (cancelled_ || items_.empty()) {
       return false;
     }
     *out = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Producer signals end-of-stream: already queued items remain poppable,
   /// then Pop returns false, and any later Push returns false.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   /// Consumer aborts the handoff: a blocked (or any later) Push returns
   /// false so the producer stops promptly instead of working the stream
   /// dry into a queue nobody reads. Buffered items are dropped.
   void Cancel() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     cancelled_ = true;
     items_.clear();
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
   const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  bool cancelled_ = false;
+  Mutex mu_{lock_rank::kBatchQueue};
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ TERIDS_GUARDED_BY(mu_);
+  bool closed_ TERIDS_GUARDED_BY(mu_) = false;
+  bool cancelled_ TERIDS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace terids

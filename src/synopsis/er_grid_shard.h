@@ -26,6 +26,13 @@ using GridCellKey = uint64_t;
 /// A shard is single-writer: ShardedErGrid routes every Insert/Remove on
 /// the maintaining thread and fans Probe out over disjoint shards, so the
 /// shard itself needs no synchronization.
+///
+/// Locking model (DESIGN.md §12): deliberately mutex-free. Mutual exclusion
+/// is structural — during a parallel Maintain fan-out each shard is touched
+/// by exactly one task, and Probe is const writing only into the caller's
+/// per-shard ProbeOutput slot — so there is no capability to annotate; the
+/// fan-out barrier (ThreadPool / Scheduler ParallelFor, both ranked
+/// mutexes) supplies the happens-before edges.
 class ErGridShard {
  public:
   /// `dims` = number of attributes d (needed for the per-cell bound

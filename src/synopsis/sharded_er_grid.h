@@ -31,6 +31,15 @@ namespace terids {
 ///
 /// With `num_shards == 1` there is no pool, no fan-out, and no extra merge
 /// pass — the single-shard configuration is the original ErGrid.
+///
+/// Locking model (DESIGN.md §12): the coordinator state (`tuple_shards_`,
+/// `multi_shard_tuples_`, the shard array) is owned by the single
+/// maintaining thread — the ingest stage in the async pipeline — and is
+/// never touched from inside a fan-out task; fan-out tasks partition work
+/// per shard and write only into per-task slots. The only mutexes on this
+/// path are inside the executor (lock_rank::kThreadPool / kScheduler),
+/// whose ParallelFor barrier publishes every shard mutation before the
+/// next phase reads it.
 class ShardedErGrid {
  public:
   /// `dims` = number of attributes d; `cell_width` = side length of a cell

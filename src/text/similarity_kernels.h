@@ -79,15 +79,15 @@ inline uint64_t TokenSignature(const Token* tokens, size_t n) {
 }
 
 /// |A ∩ B| by linear merge over two sorted spans (the seed algorithm).
-size_t IntersectLinear(const Token* a, size_t na, const Token* b, size_t nb);
+[[nodiscard]] size_t IntersectLinear(const Token* a, size_t na, const Token* b, size_t nb);
 
 /// |A ∩ B| by galloping (exponential + binary search) of the smaller span
 /// into the larger one. Identical result to IntersectLinear; preferable
 /// when the sizes are heavily skewed.
-size_t IntersectGallop(const Token* a, size_t na, const Token* b, size_t nb);
+[[nodiscard]] size_t IntersectGallop(const Token* a, size_t na, const Token* b, size_t nb);
 
 /// |A ∩ B| with automatic algorithm choice (kGallopSkewRatio).
-inline size_t IntersectSize(const Token* a, size_t na, const Token* b,
+[[nodiscard]] inline size_t IntersectSize(const Token* a, size_t na, const Token* b,
                             size_t nb) {
   const size_t small = std::min(na, nb);
   const size_t large = std::max(na, nb);
@@ -106,7 +106,7 @@ struct SigPopCounts {
   int b = 0;       // popcount(sb)
 };
 
-inline SigPopCounts SigPopCount(const uint64_t* sa, const uint64_t* sb,
+[[nodiscard]] inline SigPopCounts SigPopCount(const uint64_t* sa, const uint64_t* sb,
                                 int words) {
   SigPopCounts p;
   for (int w = 0; w < words; ++w) {
@@ -126,7 +126,7 @@ inline SigPopCounts SigPopCount(const uint64_t* sa, const uint64_t* sb,
 /// outside the intersection and |A ∩ B| <= |A| - (d_A - c); symmetrically
 /// for B. Both are also <= the trivial min(|A|, |B|) bound because
 /// c <= d_A and c <= d_B.
-inline size_t SigIntersectionUpperBoundFromPops(size_t na, size_t nb,
+[[nodiscard]] inline size_t SigIntersectionUpperBoundFromPops(size_t na, size_t nb,
                                                 const SigPopCounts& p) {
   if (p.common == 0) {
     return 0;
@@ -141,7 +141,7 @@ inline size_t SigIntersectionUpperBoundFromPops(size_t na, size_t nb,
 /// popcounts alone. Jaccard = i / (|A| + |B| - i) is increasing in i, so
 /// substituting the intersection upper bound is sound. Two empty sets have
 /// similarity 1 by convention (mirrors JaccardSimilarity).
-inline double SigJaccardUpperBoundFromPops(size_t na, size_t nb,
+[[nodiscard]] inline double SigJaccardUpperBoundFromPops(size_t na, size_t nb,
                                            const SigPopCounts& p) {
   if (na == 0 && nb == 0) {
     return 1.0;
@@ -151,22 +151,22 @@ inline double SigJaccardUpperBoundFromPops(size_t na, size_t nb,
 }
 
 /// Width-parameterized bounds over multi-word signatures.
-inline size_t SigIntersectionUpperBound(size_t na, const uint64_t* sa,
+[[nodiscard]] inline size_t SigIntersectionUpperBound(size_t na, const uint64_t* sa,
                                         size_t nb, const uint64_t* sb,
                                         int words) {
   return SigIntersectionUpperBoundFromPops(na, nb, SigPopCount(sa, sb, words));
 }
-inline double SigJaccardUpperBound(size_t na, const uint64_t* sa, size_t nb,
+[[nodiscard]] inline double SigJaccardUpperBound(size_t na, const uint64_t* sa, size_t nb,
                                    const uint64_t* sb, int words) {
   return SigJaccardUpperBoundFromPops(na, nb, SigPopCount(sa, sb, words));
 }
 
 /// The single-word (width-64) forms the PR-5 call sites and tests use.
-inline size_t SigIntersectionUpperBound(size_t na, uint64_t sa, size_t nb,
+[[nodiscard]] inline size_t SigIntersectionUpperBound(size_t na, uint64_t sa, size_t nb,
                                         uint64_t sb) {
   return SigIntersectionUpperBound(na, &sa, nb, &sb, 1);
 }
-inline double SigJaccardUpperBound(size_t na, uint64_t sa, size_t nb,
+[[nodiscard]] inline double SigJaccardUpperBound(size_t na, uint64_t sa, size_t nb,
                                    uint64_t sb) {
   return SigJaccardUpperBound(na, &sa, nb, &sb, 1);
 }
@@ -174,7 +174,7 @@ inline double SigJaccardUpperBound(size_t na, uint64_t sa, size_t nb,
 /// Exact Jaccard similarity of two sorted spans; bit-identical to
 /// JaccardSimilarity over the equivalent TokenSets (same integer
 /// intersection, same division).
-inline double JaccardFromSpans(const Token* a, size_t na, const Token* b,
+[[nodiscard]] inline double JaccardFromSpans(const Token* a, size_t na, const Token* b,
                                size_t nb) {
   if (na == 0 && nb == 0) {
     return 1.0;
@@ -226,7 +226,7 @@ struct SigFilterBatch {
 /// (SigPopCountBatch); the double accumulation stays scalar per row in
 /// every implementation, so the decision is bit-identical across scalar,
 /// AVX2, and NEON.
-size_t SigFilterCandidates(const SigFilterBatch& batch, double gamma,
+[[nodiscard]] size_t SigFilterCandidates(const SigFilterBatch& batch, double gamma,
                            uint64_t* survivors);
 
 }  // namespace terids

@@ -59,10 +59,10 @@ class TokenSet {
   bool owns() const { return !view_; }
 
   /// Membership test (binary search).
-  bool Contains(Token t) const;
+  [[nodiscard]] bool Contains(Token t) const;
 
   /// |this ∩ other| (merge or gallop; identical counts either way).
-  size_t IntersectionSize(const TokenSet& other) const;
+  [[nodiscard]] size_t IntersectionSize(const TokenSet& other) const;
 
   bool operator==(const TokenSet& other) const;
 
@@ -88,11 +88,11 @@ extern const TokenSet kEmptyTokenSet;
 /// Jaccard similarity in [0,1]. Two empty sets are defined as similarity 1
 /// (identical absence of content), matching the convention the evaluation
 /// needs for short attributes such as `year`.
-double JaccardSimilarity(const TokenSet& a, const TokenSet& b);
+[[nodiscard]] double JaccardSimilarity(const TokenSet& a, const TokenSet& b);
 
 /// Jaccard distance = 1 - similarity. This is a metric (satisfies the
 /// triangle inequality), which Lemma 4.2 and the pivot embedding rely on.
-double JaccardDistance(const TokenSet& a, const TokenSet& b);
+[[nodiscard]] double JaccardDistance(const TokenSet& a, const TokenSet& b);
 
 }  // namespace terids
 

@@ -1,0 +1,120 @@
+#include "util/mutex.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+namespace terids {
+
+namespace lock_debug {
+namespace {
+
+struct HeldLock {
+  const Mutex* mu;
+  int rank;
+};
+
+/// The per-thread stack of currently held mutexes. Only touched in Debug
+/// builds (every caller is compiled out under NDEBUG), single-threaded by
+/// construction, and empty except across the handful of instructions a
+/// lock is held for — its cost is invisible next to the std::mutex ops it
+/// rides on.
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+[[noreturn]] void LockRankFailed(const char* why, int held_rank,
+                                 int acquiring_rank) {
+  std::cerr << "terids lock-rank violation: " << why << " (holding rank "
+            << held_rank << ", acquiring rank " << acquiring_rank
+            << "); see the lock_rank order in util/mutex.h / DESIGN.md §12"
+            << std::endl;
+  std::abort();
+}
+
+}  // namespace
+
+// Called before the underlying mutex is locked (see Mutex::Lock): the
+// violations detected here are the ones that deadlock, so they must be
+// reported while the thread can still report anything. The stack therefore
+// briefly records a mutex as held while its acquisition blocks — harmless,
+// since only the owning thread reads its own stack and it is blocked.
+void OnAcquire(const Mutex* mu, int rank) {
+  auto& held = HeldStack();
+  int max_held_rank = lock_rank::kUnranked;
+  for (const HeldLock& h : held) {
+    if (h.mu == mu) {
+      LockRankFailed("re-entrant acquisition of a Mutex this thread holds",
+                     h.rank, rank);
+    }
+    if (h.rank > max_held_rank) {
+      max_held_rank = h.rank;
+    }
+  }
+  if (rank != lock_rank::kUnranked && max_held_rank != lock_rank::kUnranked &&
+      rank <= max_held_rank) {
+    LockRankFailed("out-of-order acquisition", max_held_rank, rank);
+  }
+  held.push_back(HeldLock{mu, rank});
+}
+
+void OnRelease(const Mutex* mu) {
+  auto& held = HeldStack();
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].mu == mu) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  LockRankFailed("release of a Mutex this thread does not hold",
+                 lock_rank::kUnranked, mu->rank());
+}
+
+void OnWaitRelease(const Mutex* mu) { OnRelease(mu); }
+
+void OnWaitReacquire(const Mutex* mu, int rank) {
+  // A condition-variable reacquisition is ordered by the wait itself, not
+  // by the rank discipline (the waiter already proved the order on the
+  // original Lock), so re-push without the order check. Re-entrancy cannot
+  // occur: the wait released this thread's only hold on `mu`.
+  HeldStack().push_back(HeldLock{mu, rank});
+}
+
+bool IsHeldByThisThread(const Mutex* mu) {
+  for (const HeldLock& h : HeldStack()) {
+    if (h.mu == mu) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lock_debug
+
+void Mutex::AssertHeld() const {
+#ifndef NDEBUG
+  if (!lock_debug::IsHeldByThisThread(this)) {
+    std::cerr << "terids Mutex::AssertHeld failed: mutex (rank " << rank_
+              << ") not held by this thread" << std::endl;
+    std::abort();
+  }
+#endif
+}
+
+void CondVar::Wait(Mutex* mu) {
+#ifndef NDEBUG
+  lock_debug::OnWaitRelease(mu);
+#endif
+  // Adopt the already-held native mutex for the wait, then release
+  // ownership again so the unique_lock destructor leaves it locked — the
+  // caller's MutexLock continues to own the capability.
+  std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+#ifndef NDEBUG
+  lock_debug::OnWaitReacquire(mu, mu->rank_);
+#endif
+}
+
+}  // namespace terids

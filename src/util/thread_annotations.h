@@ -1,0 +1,75 @@
+#ifndef TERIDS_UTIL_THREAD_ANNOTATIONS_H_
+#define TERIDS_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (DESIGN.md §12).
+///
+/// Every annotation in the codebase goes through these TERIDS_* macros —
+/// never through a raw `__attribute__((...))` (scripts/check_format.sh
+/// enforces that) — so the locking model reads uniformly and compilers
+/// without the analysis (gcc) see clean no-ops. Clang legs compile with
+/// `-Wthread-safety -Werror=thread-safety`, turning a missing or violated
+/// annotation into a build failure: an unlocked read of a TERIDS_GUARDED_BY
+/// member, a call to a TERIDS_REQUIRES method without its mutex, or a
+/// scoped lock that escapes its capability all stop the build instead of
+/// waiting for TSan to catch an interleaving at runtime.
+///
+/// The vocabulary mirrors the standard capability model
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+///
+///   TERIDS_CAPABILITY("mutex")  - class is a lockable capability
+///   TERIDS_SCOPED_CAPABILITY    - RAII class acquiring at construction
+///   TERIDS_GUARDED_BY(mu)       - member readable/writable only under mu
+///   TERIDS_PT_GUARDED_BY(mu)    - pointee guarded by mu (pointer itself not)
+///   TERIDS_REQUIRES(mu)         - caller must hold mu (not acquired here)
+///   TERIDS_ACQUIRE(mu...)       - function acquires mu and does not release
+///   TERIDS_RELEASE(mu...)       - function releases mu
+///   TERIDS_EXCLUDES(mu)         - caller must NOT hold mu (deadlock guard)
+///   TERIDS_NO_THREAD_SAFETY_ANALYSIS - opt a definition out (last resort;
+///       used only where the analysis cannot follow a correct pattern, and
+///       always with a comment saying why)
+
+#if defined(__clang__)
+#define TERIDS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define TERIDS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+#define TERIDS_CAPABILITY(x) TERIDS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define TERIDS_SCOPED_CAPABILITY TERIDS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define TERIDS_GUARDED_BY(x) TERIDS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define TERIDS_PT_GUARDED_BY(x) TERIDS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define TERIDS_ACQUIRED_BEFORE(...) \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define TERIDS_ACQUIRED_AFTER(...) \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define TERIDS_REQUIRES(...) \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define TERIDS_ACQUIRE(...) \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define TERIDS_RELEASE(...) \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define TERIDS_TRY_ACQUIRE(...) \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TERIDS_EXCLUDES(...) \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define TERIDS_ASSERT_CAPABILITY(x) \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define TERIDS_RETURN_CAPABILITY(x) \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define TERIDS_NO_THREAD_SAFETY_ANALYSIS \
+  TERIDS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // TERIDS_UTIL_THREAD_ANNOTATIONS_H_

@@ -20,7 +20,7 @@ TEST(BatchQueueTest, FifoOrderAcrossThreads) {
   constexpr int kItems = 1000;
   std::thread producer([&] {
     for (int i = 0; i < kItems; ++i) {
-      queue.Push(i);
+      ASSERT_TRUE(queue.Push(i));
     }
     queue.Close();
   });
@@ -38,8 +38,8 @@ TEST(BatchQueueTest, FifoOrderAcrossThreads) {
 
 TEST(BatchQueueTest, PopAfterCloseDrainsThenReturnsFalse) {
   BatchQueue<int> queue(4);
-  queue.Push(1);
-  queue.Push(2);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
   queue.Close();
   int item = 0;
   EXPECT_TRUE(queue.Pop(&item));
@@ -54,9 +54,9 @@ TEST(BatchQueueTest, BoundBlocksProducerUntilConsumerDrains) {
   BatchQueue<int> queue(1);
   std::atomic<int> pushed{0};
   std::thread producer([&] {
-    queue.Push(1);
+    EXPECT_TRUE(queue.Push(1));
     pushed.store(1);
-    queue.Push(2);  // Must block until the consumer pops item 1.
+    EXPECT_TRUE(queue.Push(2));  // Must block until the consumer pops item 1.
     pushed.store(2);
     queue.Close();
   });
@@ -100,7 +100,7 @@ TEST(BatchQueueTest, CancelUnblocksAndStopsProducer) {
 
 TEST(BatchQueueTest, MoveOnlyPayload) {
   BatchQueue<std::unique_ptr<int>> queue(2);
-  queue.Push(std::make_unique<int>(42));
+  ASSERT_TRUE(queue.Push(std::make_unique<int>(42)));
   queue.Close();
   std::unique_ptr<int> out;
   ASSERT_TRUE(queue.Pop(&out));

@@ -223,5 +223,73 @@ TEST(SchedulerTest, ConcurrencyCountsCallerParticipation) {
   EXPECT_EQ(sched.concurrency(), 4);
 }
 
+TEST(SchedulerTest, SubmitRacesDrainWithoutLosingItems) {
+  // Multi-producer submission racing repeated Drain calls — the surface the
+  // annotated Mutex migration must keep TSan-clean: every submitted item
+  // runs exactly once, and a Drain that observes quiescence really did see
+  // all prior effects (its queue mutex is the happens-before edge). All
+  // producers join before the Scheduler is destroyed: submitting
+  // concurrently with destruction is outside the contract.
+  constexpr int kProducers = 3;
+  constexpr int kItemsPerProducer = 200;
+  std::atomic<int> ran{0};
+  {
+    Scheduler sched(2);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < kItemsPerProducer; ++i) {
+          sched.Submit(ExecPhase::kMaintain, [&] { ran.fetch_add(1); });
+          if ((i & 31) == 0) {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    // Drain repeatedly while producers are still submitting; each call must
+    // quiesce whatever had been enqueued at that instant and tolerate new
+    // submissions immediately after.
+    for (int r = 0; r < 20; ++r) {
+      sched.Drain();
+    }
+    for (auto& t : producers) {
+      t.join();
+    }
+    sched.Drain();
+    EXPECT_EQ(ran.load(), kProducers * kItemsPerProducer);
+  }
+  // Destructor drained: nothing ran after the final count.
+  EXPECT_EQ(ran.load(), kProducers * kItemsPerProducer);
+}
+
+TEST(SchedulerTest, SubmitRacesParallelForAcrossPhases) {
+  // A detached kIngest-style chain submitting from a worker thread while
+  // the caller issues kRefine fork-joins — the unified pipeline's steady
+  // state. Exercises the one sanctioned lock nesting (mu_ -> ext_mu_ in
+  // ConsumeLatencies) while both locks are contended.
+  Scheduler sched(2);
+  std::atomic<int> chain_hops{0};
+  std::atomic<int> refined{0};
+  constexpr int kHops = 50;
+  // Self-resubmitting chain, like the async ingest stage.
+  std::function<void()> hop = [&] {
+    if (chain_hops.fetch_add(1) + 1 < kHops) {
+      sched.Submit(ExecPhase::kIngest, hop);
+    }
+  };
+  sched.Submit(ExecPhase::kIngest, hop);
+  for (int r = 0; r < 10; ++r) {
+    sched.ParallelFor(ExecPhase::kRefine, 64,
+                      [&](int64_t) { refined.fetch_add(1); });
+    LatencyStats stats = sched.ConsumeLatencies();
+    EXPECT_LE(stats.of(ExecPhase::kIngest).count(),
+              static_cast<uint64_t>(kHops));
+  }
+  sched.Drain();
+  EXPECT_EQ(chain_hops.load(), kHops);
+  EXPECT_EQ(refined.load(), 640);
+}
+
 }  // namespace
 }  // namespace terids
