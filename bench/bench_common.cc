@@ -85,6 +85,22 @@ SnapshotDecode EnvSnapshotDecode() {
   return decode;
 }
 
+OverloadPolicy EnvOverloadPolicy() {
+  const char* env = std::getenv("TERIDS_BENCH_OVERLOAD");
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  if (env == nullptr || env[0] == '\0') {
+    return policy;
+  }
+  if (!ParseOverloadPolicy(env, &policy)) {
+    std::fprintf(stderr,
+                 "TERIDS_BENCH_OVERLOAD: '%s' is not an overload policy "
+                 "(expected 'block', 'shed_newest', 'shed_oldest' or "
+                 "'degrade'); using default 'block'\n",
+                 env);
+  }
+  return policy;
+}
+
 int EnvSigWidth() {
   const int v = EnvInt("TERIDS_BENCH_SIGWIDTH", 64, 64);
   if (v != 64 && v != 128 && v != 256) {
@@ -111,6 +127,7 @@ ExecKnobs EnvExecKnobs() {
   knobs.sched_threads = EnvInt("TERIDS_BENCH_SCHED", 0, 0);
   knobs.repo_backend = EnvRepoBackend();
   knobs.snapshot_decode = EnvSnapshotDecode();
+  knobs.overload_policy = EnvOverloadPolicy();
   return knobs;
 }
 
@@ -137,6 +154,7 @@ ExperimentParams BaseParams(const std::string& dataset) {
   params.sched_threads = knobs.sched_threads;
   params.repo_backend = knobs.repo_backend;
   params.snapshot_decode = knobs.snapshot_decode;
+  params.overload_policy = knobs.overload_policy;
   return params;
 }
 
@@ -236,7 +254,8 @@ JsonReporter::Row& JsonReporter::AddKnobRow(const ExecKnobs& knobs) {
       .Num("maintain_shards", knobs.maintain_shards)
       .Num("sched_threads", knobs.sched_threads)
       .Str("repo_backend", RepoBackendName(knobs.repo_backend))
-      .Str("snapshot_decode", SnapshotDecodeName(knobs.snapshot_decode));
+      .Str("snapshot_decode", SnapshotDecodeName(knobs.snapshot_decode))
+      .Str("overload_policy", OverloadPolicyName(knobs.overload_policy));
 }
 
 JsonReporter::~JsonReporter() {
@@ -263,14 +282,15 @@ void PrintHeader(const std::string& figure, const std::string& title,
       "defaults (Table 5, scaled): alpha=%.1f rho=%.1f xi=%.1f eta=%.1f "
       "w=%d m=%d scale=%.3f arrivals=%d bench_scale=%.2f batch=%d "
       "threads=%d shards=%d queue=%d sigfilter=%d sigwidth=%d maintain=%d "
-      "sched=%d repo=%s snapdecode=%s\n",
+      "sched=%d repo=%s snapdecode=%s overload=%s\n",
       params.alpha, params.rho, params.xi, params.eta, params.w, params.m,
       params.scale, params.max_arrivals, EnvScale(), params.batch_size,
       params.refine_threads, params.grid_shards, params.ingest_queue_depth,
       params.signature_filter ? 1 : 0, params.sig_width,
       params.maintain_shards, params.sched_threads,
       RepoBackendName(params.repo_backend),
-      SnapshotDecodeName(params.snapshot_decode));
+      SnapshotDecodeName(params.snapshot_decode),
+      OverloadPolicyName(params.overload_policy));
 }
 
 namespace {

@@ -37,7 +37,9 @@ int EnvInt(const char* name, int fallback, int min_value);
 /// | 256, default 64; DESIGN.md §11), the repository storage backend from
 /// TERIDS_BENCH_REPO_BACKEND ("memory" | "mmap", default memory), and the
 /// v2 snapshot decode mode from TERIDS_BENCH_SNAPDECODE ("lazy" | "eager",
-/// default lazy; mmap backend only).
+/// default lazy; mmap backend only), and the async-ingest overload policy
+/// from TERIDS_BENCH_OVERLOAD ("block" | "shed_newest" | "shed_oldest" |
+/// "degrade", default block; DESIGN.md §13).
 /// Every bench that replays arrivals through Experiment::Run inherits them
 /// via BaseParams, so any figure can be reproduced under micro-batching,
 /// parallel refinement, grid sharding, async ingest, the signature filter
@@ -54,6 +56,7 @@ struct ExecKnobs {
   int sched_threads = 0;
   RepoBackend repo_backend = RepoBackend::kInMemory;
   SnapshotDecode snapshot_decode = SnapshotDecode::kLazy;
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
 };
 ExecKnobs EnvExecKnobs();
 

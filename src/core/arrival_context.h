@@ -12,6 +12,17 @@
 
 namespace terids {
 
+/// How the overload layer treated one arrival (DESIGN.md §13).
+enum class ArrivalDisposition {
+  /// Fully processed — the only disposition outside overload pressure.
+  kProcessed = 0,
+  /// Refinement was stripped (shed_oldest): evictions replayed, no pair
+  /// verdicts, no matches. (shed_newest arrivals emit no outcome at all.)
+  kShed = 1,
+  /// Refined with signature-bound-only verdicts; undecided pairs deferred.
+  kDegraded = 2,
+};
+
 /// What one arrival produced.
 struct ArrivalOutcome {
   /// Pairs newly added to the result set ES by this arrival.
@@ -20,6 +31,12 @@ struct ArrivalOutcome {
   CostBreakdown cost;
   /// Pair pruning statistics of this arrival (Figure 4).
   PruneStats stats;
+  /// The arrival's global timestamp (StreamDriver stamp), so sinks can join
+  /// outcomes back to release schedules even when shedding makes emission
+  /// index != timestamp. -1 until ImputePhase stamps it.
+  int64_t timestamp = -1;
+  /// How the overload layer treated this arrival.
+  ArrivalDisposition disposition = ArrivalDisposition::kProcessed;
 };
 
 /// Typed state flowing through the arrival pipeline's phases

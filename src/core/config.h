@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "repo/repo_backend.h"
+#include "stream/overload.h"
 
 namespace terids {
 
@@ -114,6 +115,21 @@ struct EngineConfig {
   /// and for v1 snapshot files (always eager). Both modes yield
   /// bit-identical results (the equivalence sweep enforces it).
   SnapshotDecode snapshot_decode = SnapshotDecode::kLazy;
+  /// What the async ingest path does when refinement falls behind the
+  /// arrival stream (DESIGN.md §13). kBlock (default, seed behavior, the
+  /// equivalence oracle): backpressure — the producer blocks until a queue
+  /// slot frees; every arrival is fully processed. kShedNewest: drop the
+  /// newest batch before ingestion when the pressure signal fires.
+  /// kShedOldest: always ingest, but strip refinement from the
+  /// longest-waiting queued batch when the queue is full. kDegrade: admit
+  /// everything (the queue bound is waived under pressure) and refine
+  /// pressured batches with signature-bound-only verdicts, recording
+  /// undecided pairs as deferred. Only meaningful with
+  /// ingest_queue_depth >= 1; the synchronous operator never sheds. block
+  /// is bit-identical to the oracle; the other policies are bit-identical
+  /// too whenever the pressure signal never fires (the equivalence sweep
+  /// enforces both).
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
 };
 
 }  // namespace terids

@@ -1,11 +1,11 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <array>
 #include <thread>
 #include <utility>
 
 #include "er/probability.h"
-#include "stream/batch_queue.h"
 #include "text/similarity_kernels.h"
 #include "util/mutex.h"
 #include "util/stopwatch.h"
@@ -108,6 +108,7 @@ void PipelineBase::ImputePhase(ArrivalContext* ctx) {
   const Record& r = ctx->record;
   TERIDS_CHECK(r.stream_id >= 0 &&
                r.stream_id < static_cast<int>(windows_.size()));
+  ctx->out.timestamp = r.timestamp;
   if (imputer_ != nullptr) {
     imputer_->OnArrival(r);
   }
@@ -286,6 +287,190 @@ void PipelineBase::RefineAndReplay(std::vector<ArrivalContext>* ctxs) {
   }
 }
 
+// --- Overload layer (DESIGN.md §13) ----------------------------------------
+
+void PipelineBase::ReplayShed(std::vector<ArrivalContext>* ctxs) {
+  for (ArrivalContext& ctx : *ctxs) {
+    shed_.shed_arrivals += 1;
+    shed_.shed_pairs += static_cast<int64_t>(ctx.candidates.size());
+    shed_.shed_by_phase[static_cast<int>(ExecPhase::kRefine)] +=
+        static_cast<int64_t>(ctx.candidates.size());
+    // The grid-level kills already folded into the arrival's stats stand
+    // (they happened at ingest); the surviving candidate pairs are counted
+    // shed, never evaluated. The deferred result-set eviction still
+    // replays, so the window/grid/result-set invariants hold exactly as if
+    // the batch had refined — only its verdicts are missing.
+    cum_stats_.Add(ctx.out.stats);
+    if (ctx.evicted != nullptr) {
+      matches_.RemoveAllWith(ctx.evicted->rid());
+    }
+  }
+}
+
+void PipelineBase::RefineAndReplayDegraded(std::vector<ArrivalContext>* ctxs) {
+  // Bound-only verdicts are O(d · sig_words) per pair — cheaper than the
+  // dispatch that parallel refinement would cost — so the degraded replay
+  // stays inline on the consumer thread, in arrival order.
+  for (ArrivalContext& ctx : *ctxs) {
+    for (const WindowTuple* cand : ctx.candidates) {
+      const PairEvaluation eval =
+          EvaluatePairBounds(*ctx.tuple, ctx.wt->topic, *cand->tuple,
+                             cand->topic, config_.gamma, config_.alpha);
+      ApplyEvaluation(&ctx, cand, eval);
+      if (eval.outcome == PairOutcome::kDeferred) {
+        shed_.deferred_pairs += 1;
+        shed_.shed_by_phase[static_cast<int>(ExecPhase::kRefine)] += 1;
+      }
+    }
+    cum_stats_.Add(ctx.out.stats);
+    if (ctx.evicted != nullptr) {
+      matches_.RemoveAllWith(ctx.evicted->rid());
+    }
+  }
+}
+
+bool PipelineBase::PressureHigh(BatchQueue<IngestedBatch>* queue) {
+  if (queue->size() >= queue->capacity()) {
+    return true;
+  }
+  if (sched_ != nullptr) {
+    // Second signal: the handoff has room but the consumer's fan-outs are
+    // drowning the shared workers — unclaimed non-ingest tasks piled up
+    // past a multiple of the queue bound.
+    const std::array<int64_t, kNumExecPhases> backlog =
+        sched_->ApproxBacklogByPhase();
+    int64_t pending = 0;
+    for (int p = 0; p < kNumExecPhases; ++p) {
+      if (p != static_cast<int>(ExecPhase::kIngest)) {
+        pending += backlog[p];
+      }
+    }
+    if (pending > kSchedBacklogPressureFactor *
+                      static_cast<int64_t>(queue->capacity())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PipelineBase::ProduceResult PipelineBase::ProduceOne(
+    StreamDriver* driver, size_t max_arrivals, size_t batch_size,
+    BatchQueue<IngestedBatch>* queue, size_t* ingested) {
+  if (*ingested >= max_arrivals || !driver->HasNext()) {
+    return ProduceResult::kExhausted;
+  }
+  const std::vector<Record> batch =
+      driver->NextBatch(std::min(batch_size, max_arrivals - *ingested));
+  if (batch.empty()) {
+    return ProduceResult::kExhausted;
+  }
+  *ingested += batch.size();
+  shed_.offered_arrivals += static_cast<int64_t>(batch.size());
+
+  const OverloadPolicy policy = config_.overload_policy;
+  // shed_newest decides *before* ingestion: a shed batch must never touch
+  // the window, grid, or imputer, so the engine state equals a run over the
+  // admitted subsequence and the policy needs no compensating replay.
+  if (policy == OverloadPolicy::kShedNewest && PressureHigh(queue)) {
+    shed_.pressure_events += 1;
+    shed_.shed_batches += 1;
+    shed_.shed_arrivals += static_cast<int64_t>(batch.size());
+    shed_.shed_by_phase[static_cast<int>(ExecPhase::kIngest)] +=
+        static_cast<int64_t>(batch.size());
+    return ProduceResult::kContinue;
+  }
+
+  IngestedBatch ib;
+  ib.admit.Restart();
+  {
+    ScopedTimer timer(&ib.ingest_wall);
+    IngestBatch(batch, &ib.ctxs);
+  }
+  shed_.admitted_arrivals += static_cast<int64_t>(batch.size());
+
+  if (policy == OverloadPolicy::kShedOldest) {
+    // Sacrifice the longest-waiting queued batch: mark it shed in place,
+    // atomically against a concurrent Pop. The following bounded Push then
+    // blocks at most for one (cheap) shed replay. Re-marking an already
+    // shed front batch would double-count, hence the disposition guard.
+    bool marked = false;
+    queue->MutateOldestIfFull([&](IngestedBatch* oldest) {
+      if (oldest->disposition == ArrivalDisposition::kProcessed) {
+        oldest->disposition = ArrivalDisposition::kShed;
+        marked = true;
+      }
+    });
+    if (marked) {
+      shed_.pressure_events += 1;
+      shed_.shed_batches += 1;
+    }
+  } else if (policy == OverloadPolicy::kDegrade && PressureHigh(queue)) {
+    shed_.pressure_events += 1;
+    ib.disposition = ArrivalDisposition::kDegraded;
+    shed_.degraded_batches += 1;
+    shed_.degraded_arrivals += static_cast<int64_t>(ib.ctxs.size());
+    // Admission must never block under degradation: the overshoot rides
+    // past the capacity bound and the consumer absorbs it bound-only.
+    return queue->ForcePush(std::move(ib)) ? ProduceResult::kContinue
+                                           : ProduceResult::kCancelled;
+  }
+
+  double block_wall = 0.0;
+  bool pushed;
+  {
+    ScopedTimer timer(&block_wall);
+    pushed = queue->Push(std::move(ib));
+  }
+  shed_.admit_block_seconds += block_wall;
+  return pushed ? ProduceResult::kContinue : ProduceResult::kCancelled;
+}
+
+size_t PipelineBase::DrainQueue(BatchQueue<IngestedBatch>* queue,
+                                const OutcomeSink& sink) {
+  size_t processed = 0;
+  IngestedBatch ib;
+  while (true) {
+    double wait_wall = 0.0;
+    bool popped;
+    {
+      ScopedTimer timer(&wait_wall);
+      popped = queue->Pop(&ib);
+    }
+    if (!popped) {
+      break;
+    }
+    double refine_wall = 0.0;
+    {
+      ScopedTimer timer(&refine_wall);
+      switch (ib.disposition) {
+        case ArrivalDisposition::kProcessed:
+          RefineAndReplay(&ib.ctxs);
+          break;
+        case ArrivalDisposition::kShed:
+          ReplayShed(&ib.ctxs);
+          break;
+        case ArrivalDisposition::kDegraded:
+          RefineAndReplayDegraded(&ib.ctxs);
+          break;
+      }
+    }
+    const double n = static_cast<double>(ib.ctxs.size());
+    for (ArrivalContext& ctx : ib.ctxs) {
+      // Stage walls overlap across batches, so their sum upper-bounds the
+      // wall attribution of this batch; queue_wait isolates how long
+      // refinement starved for ingest — charged here, once, so the
+      // threaded and scheduled paths account it identically.
+      ctx.out.disposition = ib.disposition;
+      ctx.out.cost.batch_seconds += (ib.ingest_wall + refine_wall) / n;
+      ctx.out.cost.queue_wait_seconds += wait_wall / n;
+      RecordArrivalLatency(ctx.out.cost, ib.admit.ElapsedSeconds());
+      sink(std::move(ctx.out));
+      ++processed;
+    }
+  }
+  return processed;
+}
+
 // --- Operators -------------------------------------------------------------
 
 ArrivalOutcome PipelineBase::ProcessArrival(const Record& r) {
@@ -384,56 +569,22 @@ size_t PipelineBase::ProcessStreamThreaded(StreamDriver* driver,
       static_cast<size_t>(config_.ingest_queue_depth));
   std::thread ingest([&] {
     size_t ingested = 0;
-    while (ingested < max_arrivals && driver->HasNext()) {
-      const std::vector<Record> batch =
-          driver->NextBatch(std::min(batch_size, max_arrivals - ingested));
-      if (batch.empty()) {
-        break;
-      }
-      ingested += batch.size();
-      IngestedBatch ib;
-      ib.admit.Restart();
-      {
-        ScopedTimer timer(&ib.ingest_wall);
-        IngestBatch(batch, &ib.ctxs);
-      }
-      if (!queue.Push(std::move(ib))) {
+    while (true) {
+      const ProduceResult result =
+          ProduceOne(driver, max_arrivals, batch_size, &queue, &ingested);
+      if (result == ProduceResult::kCancelled) {
         return;  // Consumer cancelled (threw); stop ingesting.
       }
+      if (result == ProduceResult::kExhausted) {
+        queue.Close();
+        return;
+      }
     }
-    queue.Close();
   });
 
   size_t processed = 0;
-  IngestedBatch ib;
   try {
-    while (true) {
-      double wait_wall = 0.0;
-      bool popped;
-      {
-        ScopedTimer timer(&wait_wall);
-        popped = queue.Pop(&ib);
-      }
-      if (!popped) {
-        break;
-      }
-      double refine_wall = 0.0;
-      {
-        ScopedTimer timer(&refine_wall);
-        RefineAndReplay(&ib.ctxs);
-      }
-      const double n = static_cast<double>(ib.ctxs.size());
-      for (ArrivalContext& ctx : ib.ctxs) {
-        // Stage walls overlap across batches, so their sum upper-bounds the
-        // wall attribution of this batch; queue_wait isolates how long
-        // refinement starved for ingest.
-        ctx.out.cost.batch_seconds += (ib.ingest_wall + refine_wall) / n;
-        ctx.out.cost.queue_wait_seconds += wait_wall / n;
-        RecordArrivalLatency(ctx.out.cost, ib.admit.ElapsedSeconds());
-        sink(std::move(ctx.out));
-        ++processed;
-      }
-    }
+    processed = DrainQueue(&queue, sink);
   } catch (...) {
     // A throwing sink (or refinement) must not unwind past a joinable
     // ingest thread blocked in Push on this stack frame's queue: cancel
@@ -478,60 +629,23 @@ size_t PipelineBase::ProcessStreamScheduled(StreamDriver* driver,
   };
   std::function<void()> link;
   link = [&] {
-    if (ingested >= max_arrivals || !driver->HasNext()) {
+    const ProduceResult result =
+        ProduceOne(driver, max_arrivals, batch_size, &queue, &ingested);
+    if (result == ProduceResult::kContinue) {
+      sched_->Submit(ExecPhase::kIngest, link);
+      return;
+    }
+    if (result == ProduceResult::kExhausted) {
       queue.Close();
-      finish_chain();
-      return;
     }
-    const std::vector<Record> batch =
-        driver->NextBatch(std::min(batch_size, max_arrivals - ingested));
-    if (batch.empty()) {
-      queue.Close();
-      finish_chain();
-      return;
-    }
-    ingested += batch.size();
-    IngestedBatch ib;
-    ib.admit.Restart();
-    {
-      ScopedTimer timer(&ib.ingest_wall);
-      IngestBatch(batch, &ib.ctxs);
-    }
-    if (!queue.Push(std::move(ib))) {
-      finish_chain();  // Consumer cancelled (threw); stop the chain.
-      return;
-    }
-    sched_->Submit(ExecPhase::kIngest, link);
+    // kExhausted or kCancelled (consumer threw): the chain ends here.
+    finish_chain();
   };
   sched_->Submit(ExecPhase::kIngest, link);
 
   size_t processed = 0;
-  IngestedBatch ib;
   try {
-    while (true) {
-      double wait_wall = 0.0;
-      bool popped;
-      {
-        ScopedTimer timer(&wait_wall);
-        popped = queue.Pop(&ib);
-      }
-      if (!popped) {
-        break;
-      }
-      double refine_wall = 0.0;
-      {
-        ScopedTimer timer(&refine_wall);
-        RefineAndReplay(&ib.ctxs);
-      }
-      const double n = static_cast<double>(ib.ctxs.size());
-      for (ArrivalContext& ctx : ib.ctxs) {
-        ctx.out.cost.batch_seconds += (ib.ingest_wall + refine_wall) / n;
-        ctx.out.cost.queue_wait_seconds += wait_wall / n;
-        RecordArrivalLatency(ctx.out.cost, ib.admit.ElapsedSeconds());
-        sink(std::move(ctx.out));
-        ++processed;
-      }
-    }
+    processed = DrainQueue(&queue, sink);
   } catch (...) {
     // `queue`, `link`, and the chain flags live on this frame, so no chain
     // link may outlive it: cancel the handoff (a blocked or later Push

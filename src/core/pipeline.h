@@ -19,6 +19,8 @@
 #include "index/dr_index.h"
 #include "repo/repository.h"
 #include "rules/rule.h"
+#include "stream/batch_queue.h"
+#include "stream/overload.h"
 #include "stream/sliding_window.h"
 #include "stream/stream_driver.h"
 #include "synopsis/sharded_er_grid.h"
@@ -76,6 +78,10 @@ class ErPipeline {
   /// its per-work-item service-time histograms, clearing them. Empty stats
   /// for pipelines without a scheduler. Call only at stream quiescence.
   virtual LatencyStats ConsumeSchedulerLatencies() { return LatencyStats(); }
+  /// Admission-control accounting of the async ProcessStream (DESIGN.md
+  /// §13), or null for pipelines without an overload layer. Read only after
+  /// the stream has quiesced (ProcessStream returned).
+  virtual const ShedStats* shed_stats() const { return nullptr; }
 };
 
 /// Shared implementation: sliding windows, optional ER-grid, result-set
@@ -130,6 +136,7 @@ class PipelineBase : public ErPipeline {
   LatencyStats ConsumeSchedulerLatencies() override {
     return sched_ != nullptr ? sched_->ConsumeLatencies() : LatencyStats();
   }
+  const ShedStats* shed_stats() const override { return &shed_; }
 
   /// Live tuples of one stream's window (inspection / tests).
   const SlidingWindow& window(int stream_id) const;
@@ -192,6 +199,18 @@ class PipelineBase : public ErPipeline {
     std::vector<ArrivalContext> ctxs;
     double ingest_wall = 0.0;
     Stopwatch admit;
+    /// How the overload layer routed this batch (DESIGN.md §13): the
+    /// producer stage stamps it at admission (degrade) or in place on the
+    /// queue under the queue mutex (shed_oldest); the consumer stage
+    /// dispatches refinement on it.
+    ArrivalDisposition disposition = ArrivalDisposition::kProcessed;
+  };
+
+  /// Result of one producer step of the async pipeline.
+  enum class ProduceResult {
+    kContinue,   // a batch was admitted (or shed); keep producing
+    kExhausted,  // stream dry or max_arrivals reached; Close() the queue
+    kCancelled,  // consumer cancelled the handoff; stop silently
   };
 
   std::vector<const WindowTuple*> LinearCandidates(const WindowTuple& probe,
@@ -212,6 +231,35 @@ class PipelineBase : public ErPipeline {
   /// and cum_stats_ only — under async ingest it runs on the calling
   /// thread, concurrently with the next batch's ingest.
   void RefineAndReplay(std::vector<ArrivalContext>* ctxs);
+  /// Shed replay (disposition kShed, DESIGN.md §13): no pair is evaluated —
+  /// candidate pairs are counted into ShedStats — but the batch's deferred
+  /// result-set evictions still run and its stats still accumulate, so the
+  /// window/grid/result-set invariants survive the shed. Consumer stage.
+  void ReplayShed(std::vector<ArrivalContext>* ctxs);
+  /// Degraded replay (disposition kDegraded): every candidate pair goes
+  /// through the bound-only EvaluatePairBounds inline (cheap enough that
+  /// fan-out would cost more than it saves); decided pairs fold in exactly
+  /// like full evaluations, undecided ones are recorded deferred. Evictions
+  /// and stats replay as in RefineAndReplay. Consumer stage.
+  void RefineAndReplayDegraded(std::vector<ArrivalContext>* ctxs);
+  /// The queue-pressure signal (DESIGN.md §13): handoff-queue occupancy at
+  /// capacity, or the scheduler's unclaimed non-ingest backlog exceeding
+  /// kSchedBacklogPressureFactor x the queue capacity. Producer stage.
+  bool PressureHigh(BatchQueue<IngestedBatch>* queue);
+  /// One producer step of the async pipeline: pulls the next micro-batch
+  /// from the driver, applies config_.overload_policy at admission, and
+  /// hands the ingested batch to `queue`. Shared by the dedicated ingest
+  /// thread and the scheduler's kIngest chain so both paths shed, degrade,
+  /// and account identically. Producer stage: touches windows_/grid_/
+  /// imputer_/driver and the producer fields of shed_.
+  ProduceResult ProduceOne(StreamDriver* driver, size_t max_arrivals,
+                           size_t batch_size,
+                           BatchQueue<IngestedBatch>* queue, size_t* ingested);
+  /// The consumer loop shared by both async paths: pops batches until the
+  /// queue closes, dispatches refinement on each batch's disposition, and
+  /// emits outcomes in arrival order with identical batch/queue-wait/
+  /// latency accounting in both modes. Returns arrivals emitted.
+  size_t DrainQueue(BatchQueue<IngestedBatch>* queue, const OutcomeSink& sink);
   /// Lazily constructed parallel refiner: a private pool of
   /// config_.refine_threads workers in legacy mode, a scheduler-dispatching
   /// executor in unified mode (still inline when refine_threads <= 1).
@@ -232,6 +280,11 @@ class PipelineBase : public ErPipeline {
   /// Per-arrival latency accounting, updated at emission on the consumer
   /// (calling) thread only.
   LatencyStats latency_;
+  /// Overload accounting (DESIGN.md §13). Field ownership is split by
+  /// pipeline stage exactly as documented on ShedStats — admission fields
+  /// belong to the producer, refinement fields to the consumer — and
+  /// readers wait for stream quiescence, so no lock is needed.
+  ShedStats shed_;
 };
 
 /// Constructs one of the six evaluated pipelines. The rule vectors are

@@ -1,0 +1,139 @@
+#include "datagen/arrival_shaper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace terids {
+
+std::vector<Record> ArrivalShaper::Shape(const std::vector<Record>& records,
+                                         TokenDict* dict, int64_t next_rid,
+                                         const Options& opts) {
+  Rng rng(opts.seed);
+  Tokenizer tok(dict);
+
+  // 1. Concept drift: records past each drift period mix phase-marked
+  // tokens into their values, rotating the value distribution — imputation
+  // neighborhoods and match structure shift between phases.
+  std::vector<Record> drifted = records;
+  if (opts.drift_period > 0) {
+    for (size_t i = 0; i < drifted.size(); ++i) {
+      const int phase =
+          static_cast<int>(i / static_cast<size_t>(opts.drift_period));
+      if (phase == 0) {
+        continue;
+      }
+      for (AttrValue& v : drifted[i].values) {
+        if (v.missing || !rng.NextBool(opts.drift_rate)) {
+          continue;
+        }
+        v.text += " drift" + std::to_string(phase) + "w" +
+                  std::to_string(rng.NextBounded(8));
+        v.tokens = tok.Tokenize(v.text);
+      }
+    }
+  }
+
+  // 2. Duplicate storms: each record independently schedules a re-emission
+  // 1..duplicate_max_lag slots downstream under a fresh rid; re-emissions
+  // scheduled at the same slot keep their scheduling order.
+  std::vector<std::vector<Record>> extra(drifted.size() + 1);
+  size_t num_extra = 0;
+  if (opts.duplicate_p > 0) {
+    const uint64_t lag =
+        static_cast<uint64_t>(std::max(1, opts.duplicate_max_lag));
+    for (size_t i = 0; i < drifted.size(); ++i) {
+      if (!rng.NextBool(opts.duplicate_p)) {
+        continue;
+      }
+      Record dup = drifted[i];
+      dup.rid = next_rid++;
+      if (rng.NextBool(opts.near_duplicate_p)) {
+        // Near-duplicate: perturb one non-missing attribute value so the
+        // copy is similar but not identical (a distinct token set).
+        std::vector<int> present;
+        for (int a = 0; a < dup.num_attributes(); ++a) {
+          if (!dup.values[a].missing) {
+            present.push_back(a);
+          }
+        }
+        if (!present.empty()) {
+          AttrValue& v =
+              dup.values[present[rng.NextBounded(present.size())]];
+          v.text += " neardup" + std::to_string(rng.NextBounded(16));
+          v.tokens = tok.Tokenize(v.text);
+        }
+      }
+      const size_t at = std::min(
+          drifted.size(), i + 1 + static_cast<size_t>(rng.NextBounded(lag)));
+      extra[at].push_back(std::move(dup));
+      ++num_extra;
+    }
+  }
+  std::vector<Record> merged;
+  merged.reserve(drifted.size() + num_extra);
+  for (size_t i = 0; i < drifted.size(); ++i) {
+    for (Record& dup : extra[i]) {
+      merged.push_back(std::move(dup));
+    }
+    merged.push_back(std::move(drifted[i]));
+  }
+  for (Record& dup : extra[drifted.size()]) {
+    merged.push_back(std::move(dup));
+  }
+
+  // 3. Bounded out-of-order delivery: release slot = index + U[0, horizon],
+  // stable sort by slot. For output positions where record j overtakes
+  // record i (j originally behind i): j <= release_j < release_i <= i +
+  // horizon, so no record is overtaken by one more than `horizon` positions
+  // behind it.
+  if (opts.reorder_horizon > 0) {
+    struct Slot {
+      size_t release;
+      size_t idx;
+    };
+    std::vector<Slot> slots(merged.size());
+    const uint64_t span = static_cast<uint64_t>(opts.reorder_horizon) + 1;
+    for (size_t i = 0; i < merged.size(); ++i) {
+      slots[i] = {i + static_cast<size_t>(rng.NextBounded(span)), i};
+    }
+    std::stable_sort(slots.begin(), slots.end(),
+                     [](const Slot& a, const Slot& b) {
+                       return a.release < b.release;
+                     });
+    std::vector<Record> out;
+    out.reserve(merged.size());
+    for (const Slot& s : slots) {
+      out.push_back(std::move(merged[s.idx]));
+    }
+    return out;
+  }
+  return merged;
+}
+
+std::vector<double> ArrivalShaper::OfferedTimeline(size_t n,
+                                                   const Options& opts) {
+  // Independent draw stream from Shape's (same seed, distinct derivation),
+  // so pacing and content can be composed or used alone deterministically.
+  Rng rng(opts.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<double> gaps;
+  gaps.reserve(n);
+  bool burst = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(burst ? opts.burst_off_p : opts.burst_on_p)) {
+      burst = !burst;
+    }
+    // Exponential inter-arrival gaps, mean scaled by the burst state:
+    // trains of closely spaced arrivals separated by idle stretches.
+    const double u = rng.NextDouble();
+    const double e = -std::log(1.0 - u);
+    gaps.push_back((burst ? opts.burst_gap_scale : opts.idle_gap_scale) * e);
+  }
+  return gaps;
+}
+
+}  // namespace terids

@@ -1,0 +1,87 @@
+#ifndef TERIDS_DATAGEN_ARRIVAL_SHAPER_H_
+#define TERIDS_DATAGEN_ARRIVAL_SHAPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/token_dict.h"
+#include "tuple/record.h"
+
+namespace terids {
+
+/// Composable adversarial stream shaping (DESIGN.md §13): wraps any
+/// generated source (one stream's record vector, any profile) with the
+/// arrival pathologies a production ingest sees but the paper's evaluation
+/// streams never exhibit —
+///
+///   * concept drift        — the value distribution rotates over time:
+///                            records past each drift period get
+///                            phase-marked tokens mixed into their values,
+///                            so match structure shifts between phases;
+///   * duplicate storms     — records re-emit a bounded distance
+///                            downstream, exactly or near-exactly (one
+///                            perturbed attribute), under fresh rids;
+///   * bounded out-of-order — each record's release slot is delayed by
+///                            U[0, horizon], then the sequence is stably
+///                            sorted by slot: delivery is permuted but no
+///                            record overtakes more than `horizon` peers.
+///
+/// Shape() applies the three content transforms in that fixed order;
+/// OfferedTimeline() independently produces the bursty (on/off Markov)
+/// inter-arrival gaps a paced driver replays. Everything is a pure function
+/// of (input, Options) — one Rng seeded from opts.seed, drawn in a fixed
+/// order — so the same seed yields the same stream byte for byte.
+class ArrivalShaper {
+ public:
+  struct Options {
+    uint64_t seed = 20210620;
+
+    /// Concept drift: every `drift_period` records the stream enters the
+    /// next drift phase (0 = off). In phase p >= 1 each non-missing
+    /// attribute value independently gains a phase-marked drift token with
+    /// probability `drift_rate`.
+    int drift_period = 0;
+    double drift_rate = 0.25;
+
+    /// Duplicate storms: each record independently re-emits with
+    /// probability `duplicate_p` (0 = off), between 1 and
+    /// `duplicate_max_lag` positions downstream, under a fresh rid. A
+    /// re-emission is a near-duplicate (one non-missing attribute value
+    /// perturbed) with probability `near_duplicate_p`, an exact copy
+    /// otherwise.
+    double duplicate_p = 0.0;
+    double near_duplicate_p = 0.5;
+    int duplicate_max_lag = 8;
+
+    /// Bounded out-of-order delivery: each record's release slot is its
+    /// index plus U[0, reorder_horizon] (0 = in order). Stable sort by
+    /// slot guarantees no record is overtaken by one more than
+    /// `reorder_horizon` positions behind it.
+    int reorder_horizon = 0;
+
+    /// Markov on/off burst train for OfferedTimeline(): per-arrival
+    /// transition probabilities into/out of the burst state and the mean
+    /// inter-arrival gap multiplier inside/outside a burst (exponential
+    /// gaps; the caller normalizes the timeline to its target rate).
+    double burst_on_p = 0.1;
+    double burst_off_p = 0.25;
+    double burst_gap_scale = 0.2;
+    double idle_gap_scale = 1.6;
+  };
+
+  /// Applies drift, duplicates, and bounded reordering to one source.
+  /// `dict` interns the drift/perturbation tokens (the engine must share
+  /// it, exactly as with generated data); `next_rid` seeds the fresh rids
+  /// handed to duplicates (pass one past the dataset's largest rid).
+  static std::vector<Record> Shape(const std::vector<Record>& records,
+                                   TokenDict* dict, int64_t next_rid,
+                                   const Options& opts);
+
+  /// `n` bursty inter-arrival gaps (seconds, mean ~1 modulo burst shape);
+  /// prefix-sum and rescale to pace an offered-load schedule.
+  static std::vector<double> OfferedTimeline(size_t n, const Options& opts);
+};
+
+}  // namespace terids
+
+#endif  // TERIDS_DATAGEN_ARRIVAL_SHAPER_H_

@@ -175,6 +175,7 @@ EngineConfig Experiment::MakeConfig() const {
   config.sched_threads = params_.sched_threads;
   config.repo_backend = params_.repo_backend;
   config.snapshot_decode = params_.snapshot_decode;
+  config.overload_policy = params_.overload_policy;
   return config;
 }
 
@@ -234,6 +235,9 @@ PipelineRun Experiment::Run(PipelineKind kind, const EngineConfig& config) {
     run.arrival_latency = *latencies;
   }
   run.sched_item_latency = pipeline->ConsumeSchedulerLatencies();
+  if (const ShedStats* shed = pipeline->shed_stats()) {
+    run.shed = *shed;
+  }
   return run;
 }
 

@@ -62,6 +62,11 @@ struct ExperimentParams {
   /// first-touch section decode vs decode-all-at-open; DESIGN.md §8).
   /// Results are bit-identical either way (equivalence sweep enforced).
   SnapshotDecode snapshot_decode = SnapshotDecode::kLazy;
+  /// Overload policy of the async ingest path (DESIGN.md §13). kBlock
+  /// (default) is the backpressure oracle — bit-identical results; the
+  /// shedding/degrading policies trade completeness for bounded sojourn
+  /// under pressure and are bit-identical whenever pressure never fires.
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
 };
 
 /// One pipeline's measured run.
@@ -81,6 +86,9 @@ struct PipelineRun {
   /// Per-work-item service-time histograms from the unified scheduler
   /// (sched_threads >= 1); empty in legacy mode.
   LatencyStats sched_item_latency;
+  /// Overload-layer accounting (DESIGN.md §13): all-zero under the block
+  /// policy or whenever the pressure signal never fired.
+  ShedStats shed;
 };
 
 /// Builds one dataset + repository + rules under fixed parameters and runs
@@ -113,6 +121,11 @@ class Experiment {
 
   const GeneratedDataset& dataset() const { return dataset_; }
   const ExperimentParams& params() const { return params_; }
+  /// The incomplete arrival sources Run() streams (post-WithMissing), so
+  /// overload benches can reshape them (ArrivalShaper) and drive a custom
+  /// StreamDriver over the same content.
+  const std::vector<Record>& incomplete_a() const { return incomplete_a_; }
+  const std::vector<Record>& incomplete_b() const { return incomplete_b_; }
   double gamma() const;
   const std::vector<CddRule>& cdds() const { return cdds_; }
   const std::vector<CddRule>& dds() const { return dds_; }

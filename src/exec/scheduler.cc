@@ -253,4 +253,14 @@ LatencyStats Scheduler::ConsumeLatencies() {
   return out;
 }
 
+std::array<int64_t, kNumExecPhases> Scheduler::ApproxBacklogByPhase() {
+  std::array<int64_t, kNumExecPhases> backlog{};
+  MutexLock lock(&mu_);
+  for (const std::shared_ptr<Job>& job : queue_) {
+    const int phase = static_cast<int>(job->phase);
+    backlog[phase] += job->total - job->next;
+  }
+  return backlog;
+}
+
 }  // namespace terids

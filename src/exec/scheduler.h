@@ -1,6 +1,7 @@
 #ifndef TERIDS_EXEC_SCHEDULER_H_
 #define TERIDS_EXEC_SCHEDULER_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -95,6 +96,14 @@ class Scheduler {
   /// histogram is left empty — arrival latency is the pipeline's to
   /// measure.
   LatencyStats ConsumeLatencies();
+
+  /// Snapshot of the per-phase backlog: unclaimed tasks of every queued job,
+  /// bucketed by the job's phase (claimed-but-unfinished tasks are not
+  /// attributed — they are already running, not waiting). Approximate by
+  /// nature: stale the instant the lock drops — the overload pressure
+  /// signal's second input (DESIGN.md §13), never a synchronization
+  /// primitive.
+  std::array<int64_t, kNumExecPhases> ApproxBacklogByPhase();
 
  private:
   /// One submitted unit: either a fork-join job of `total` indexed tasks or

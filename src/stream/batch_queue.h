@@ -62,7 +62,43 @@ class BatchQueue {
       return false;
     }
     items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) {
+      high_watermark_ = items_.size();
+    }
     not_empty_.NotifyOne();
+    return true;
+  }
+
+  /// Enqueues ignoring the capacity bound — the degrade policy's pressure
+  /// valve (DESIGN.md §13): admission must never block, so the overshoot
+  /// rides into the queue and the consumer absorbs it as bound-only
+  /// (degraded) batches. Returns false after Close/Cancel, like Push.
+  [[nodiscard]] bool ForcePush(T item) {
+    MutexLock lock(&mu_);
+    if (cancelled_ || closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) {
+      high_watermark_ = items_.size();
+    }
+    not_empty_.NotifyOne();
+    return true;
+  }
+
+  /// Applies `fn` to the oldest queued item iff the queue is currently at
+  /// (or beyond) capacity — the shed_oldest policy's marking hook: the
+  /// batch sacrificed under pressure is the one that has waited longest.
+  /// `fn` runs under the queue mutex (atomically against a concurrent Pop),
+  /// so it must be cheap and must not touch this queue. Returns whether
+  /// `fn` ran.
+  template <typename Fn>
+  bool MutateOldestIfFull(Fn&& fn) {
+    MutexLock lock(&mu_);
+    if (items_.empty() || items_.size() < capacity_) {
+      return false;
+    }
+    fn(&items_.front());
     return true;
   }
 
@@ -105,12 +141,28 @@ class BatchQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Current occupancy. Approximate by nature: the value may be stale the
+  /// instant the lock drops — good enough for the overload pressure signal
+  /// and observability, never for synchronization.
+  size_t size() {
+    MutexLock lock(&mu_);
+    return items_.size();
+  }
+
+  /// Highest occupancy ever observed at a push (ForcePush can drive it past
+  /// capacity()). Monotone over the queue's lifetime.
+  size_t high_watermark() {
+    MutexLock lock(&mu_);
+    return high_watermark_;
+  }
+
  private:
   const size_t capacity_;
   Mutex mu_{lock_rank::kBatchQueue};
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> items_ TERIDS_GUARDED_BY(mu_);
+  size_t high_watermark_ TERIDS_GUARDED_BY(mu_) = 0;
   bool closed_ TERIDS_GUARDED_BY(mu_) = false;
   bool cancelled_ TERIDS_GUARDED_BY(mu_) = false;
 };

@@ -1,0 +1,84 @@
+#include "stream/overload.h"
+
+#include <cstdio>
+
+namespace terids {
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kShedNewest:
+      return "shed_newest";
+    case OverloadPolicy::kShedOldest:
+      return "shed_oldest";
+    case OverloadPolicy::kDegrade:
+      return "degrade";
+  }
+  return "unknown";
+}
+
+bool ParseOverloadPolicy(const std::string& name, OverloadPolicy* policy) {
+  if (name == "block") {
+    *policy = OverloadPolicy::kBlock;
+    return true;
+  }
+  if (name == "shed_newest") {
+    *policy = OverloadPolicy::kShedNewest;
+    return true;
+  }
+  if (name == "shed_oldest") {
+    *policy = OverloadPolicy::kShedOldest;
+    return true;
+  }
+  if (name == "degrade") {
+    *policy = OverloadPolicy::kDegrade;
+    return true;
+  }
+  return false;
+}
+
+void ShedStats::Add(const ShedStats& other) {
+  offered_arrivals += other.offered_arrivals;
+  admitted_arrivals += other.admitted_arrivals;
+  shed_arrivals += other.shed_arrivals;
+  shed_batches += other.shed_batches;
+  degraded_arrivals += other.degraded_arrivals;
+  degraded_batches += other.degraded_batches;
+  pressure_events += other.pressure_events;
+  admit_block_seconds += other.admit_block_seconds;
+  shed_pairs += other.shed_pairs;
+  deferred_pairs += other.deferred_pairs;
+  for (int p = 0; p < kNumExecPhases; ++p) {
+    shed_by_phase[p] += other.shed_by_phase[p];
+  }
+}
+
+std::string ShedStats::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"offered_arrivals\":%lld,\"admitted_arrivals\":%lld,"
+      "\"shed_arrivals\":%lld,"
+      "\"shed_batches\":%lld,\"degraded_arrivals\":%lld,"
+      "\"degraded_batches\":%lld,\"pressure_events\":%lld,"
+      "\"admit_block_seconds\":%.9g,\"shed_pairs\":%lld,"
+      "\"deferred_pairs\":%lld,\"shed_rate\":%.9g,\"shed_by_phase\":"
+      "[%lld,%lld,%lld,%lld]}",
+      static_cast<long long>(offered_arrivals),
+      static_cast<long long>(admitted_arrivals),
+      static_cast<long long>(shed_arrivals),
+      static_cast<long long>(shed_batches),
+      static_cast<long long>(degraded_arrivals),
+      static_cast<long long>(degraded_batches),
+      static_cast<long long>(pressure_events), admit_block_seconds,
+      static_cast<long long>(shed_pairs),
+      static_cast<long long>(deferred_pairs), ShedRate(),
+      static_cast<long long>(shed_by_phase[0]),
+      static_cast<long long>(shed_by_phase[1]),
+      static_cast<long long>(shed_by_phase[2]),
+      static_cast<long long>(shed_by_phase[3]));
+  return buf;
+}
+
+}  // namespace terids

@@ -143,5 +143,109 @@ TEST(BatchQueueTest, CloseUnblocksAFullQueuePush) {
   EXPECT_FALSE(queue.Pop(&out));
 }
 
+TEST(BatchQueueTest, SizeAndHighWatermarkTrackOccupancy) {
+  BatchQueue<int> queue(4);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.high_watermark(), 0u);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.high_watermark(), 2u);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(queue.size(), 1u);
+  // The watermark is a running maximum: draining never lowers it.
+  EXPECT_EQ(queue.high_watermark(), 2u);
+  ASSERT_TRUE(queue.Push(3));
+  ASSERT_TRUE(queue.Push(4));
+  ASSERT_TRUE(queue.Push(5));
+  EXPECT_EQ(queue.size(), 4u);
+  EXPECT_EQ(queue.high_watermark(), 4u);
+}
+
+TEST(BatchQueueTest, ForcePushExceedsCapacityWithoutBlocking) {
+  BatchQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  // A blocking Push would deadlock a single-threaded test here; ForcePush
+  // must admit past the bound immediately (the degrade policy's never-block
+  // contract) and the watermark must record the overshoot.
+  EXPECT_TRUE(queue.ForcePush(2));
+  EXPECT_TRUE(queue.ForcePush(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.high_watermark(), 3u);
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(BatchQueueTest, ForcePushRejectedAfterCloseAndCancel) {
+  BatchQueue<int> closed(2);
+  closed.Close();
+  EXPECT_FALSE(closed.ForcePush(1));
+  BatchQueue<int> cancelled(2);
+  ASSERT_TRUE(cancelled.Push(1));
+  cancelled.Cancel();
+  EXPECT_FALSE(cancelled.ForcePush(2));
+  int out = 0;
+  EXPECT_FALSE(cancelled.Pop(&out));
+}
+
+TEST(BatchQueueTest, MutateOldestIfFullOnlyFiresAtCapacity) {
+  BatchQueue<int> queue(2);
+  int calls = 0;
+  EXPECT_FALSE(queue.MutateOldestIfFull([&](int*) { ++calls; }));
+  ASSERT_TRUE(queue.Push(10));
+  EXPECT_FALSE(queue.MutateOldestIfFull([&](int*) { ++calls; }));
+  ASSERT_TRUE(queue.Push(20));
+  EXPECT_TRUE(queue.MutateOldestIfFull([&](int* oldest) {
+    ++calls;
+    EXPECT_EQ(*oldest, 10);
+    *oldest = -10;
+  }));
+  EXPECT_EQ(calls, 1);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, -10);  // Mutated in place, FIFO position unchanged.
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 20);
+}
+
+TEST(BatchQueueTest, MutateOldestRunsAtomicallyAgainstPop) {
+  // The shed_oldest path marks the front batch while the consumer pops
+  // concurrently; the mutation must apply to an item the consumer will
+  // still observe (never to a popped-out copy). Popped values are either
+  // marked or unmarked, but every mark lands on a value the consumer sees.
+  BatchQueue<int> queue(2);
+  constexpr int kItems = 2000;
+  std::atomic<int> marked{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(queue.Push(i));
+      // Mark-once guard, exactly like the shed_oldest policy's
+      // already-shed check: the same front item may be seen twice.
+      queue.MutateOldestIfFull([&](int* oldest) {
+        if (*oldest < 1000000) {
+          *oldest += 1000000;
+          marked.fetch_add(1);
+        }
+      });
+    }
+    queue.Close();
+  });
+  int observed_marks = 0;
+  int item;
+  while (queue.Pop(&item)) {
+    if (item >= 1000000) {
+      ++observed_marks;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(observed_marks, marked.load());
+}
+
 }  // namespace
 }  // namespace terids

@@ -109,6 +109,9 @@ void ExpectSameStats(const PruneStats& a, const PruneStats& b) {
   EXPECT_EQ(a.instance_pruned, b.instance_pruned);
   EXPECT_EQ(a.refined, b.refined);
   EXPECT_EQ(a.matched, b.matched);
+  // Degradation is required to be *visible*: outside the degrade policy
+  // under pressure, no pair may ever be recorded as deferred.
+  EXPECT_EQ(a.deferred, b.deferred);
 }
 
 TEST_P(BatchEquivalenceSweepTest, ProcessBatchEqualsOneAtATime) {
@@ -283,6 +286,120 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, RepoBackendEquivalenceTest,
                                            "EBooks", "Songs"),
                          [](const ::testing::TestParamInfo<std::string>&
                                 info) { return info.param; });
+
+// --- Overload-policy equivalence -------------------------------------------
+
+// The admission-control layer (DESIGN.md §13) must be invisible whenever it
+// is allowed to be: overload_policy=block is the backpressure oracle and
+// must be bit-identical to the sequential run on every profile, on both the
+// ingest-thread path (sched=0) and the scheduler's kIngest chain (sched=4).
+// The shedding/degrading policies must be bit-identical whenever the
+// pressure signal never fires — enforced here with a queue deep enough
+// that the replay's batch count can never fill it.
+//
+// profile, policy, ingest_queue_depth, sched_threads
+using OverloadCombo = std::tuple<std::string, OverloadPolicy, int, int>;
+
+class OverloadPolicyEquivalenceTest
+    : public ::testing::TestWithParam<OverloadCombo> {};
+
+TEST_P(OverloadPolicyEquivalenceTest, PolicyInertWithoutPressure) {
+  const auto [profile, policy, queue_depth, sched_threads] = GetParam();
+  ExperimentParams params;
+  params.scale = 0.04;
+  if (profile == "EBooks") params.scale = 0.012;
+  if (profile == "Songs") params.scale = 0.002;
+  params.w = 50;
+  params.max_arrivals = 220;
+  Experiment experiment(ProfileByName(profile), params);
+
+  auto replay = [&](OverloadPolicy pol, int queue, int sched) {
+    std::unique_ptr<Repository> repo = experiment.BuildRepository();
+    EngineConfig config = experiment.MakeConfig();
+    config.batch_size = 8;
+    config.refine_threads = queue > 0 ? 4 : 1;
+    config.ingest_queue_depth = queue;
+    config.sched_threads = sched;
+    config.overload_policy = pol;
+    std::unique_ptr<ErPipeline> pipeline =
+        MakePipeline(PipelineKind::kTerIds, repo.get(), config, 2,
+                     experiment.cdds(), experiment.dds(),
+                     experiment.editing_rules());
+    std::vector<Record> inc_a = DataGenerator::WithMissing(
+        experiment.dataset().source_a, params.xi, params.m, params.seed);
+    std::vector<Record> inc_b = DataGenerator::WithMissing(
+        experiment.dataset().source_b, params.xi, params.m, params.seed + 1);
+    StreamDriver driver({inc_a, inc_b});
+    ReplayResult result;
+    pipeline->ProcessStream(&driver,
+                            static_cast<size_t>(params.max_arrivals),
+                            /*batch_size=*/8,
+                            [&result](ArrivalOutcome&& out) {
+                              for (const MatchPair& p : out.new_matches) {
+                                result.emitted.emplace_back(p.rid_a,
+                                                            p.rid_b);
+                              }
+                            });
+    result.final_set = pipeline->results().ToVector();
+    result.stats = pipeline->cumulative_stats();
+    if (pol != OverloadPolicy::kBlock) {
+      // No pressure, no shedding: the accounting must agree.
+      const ShedStats* shed = pipeline->shed_stats();
+      EXPECT_NE(shed, nullptr);
+      if (shed != nullptr) {
+        EXPECT_EQ(shed->shed_arrivals, 0);
+        EXPECT_EQ(shed->degraded_arrivals, 0);
+        EXPECT_EQ(shed->pressure_events, 0);
+      }
+    }
+    return result;
+  };
+
+  const ReplayResult sequential =
+      replay(OverloadPolicy::kBlock, /*queue=*/0, /*sched=*/0);
+  const ReplayResult policy_run = replay(policy, queue_depth, sched_threads);
+  EXPECT_EQ(policy_run.emitted, sequential.emitted)
+      << profile << " policy=" << OverloadPolicyName(policy)
+      << " queue=" << queue_depth << " sched=" << sched_threads;
+  ASSERT_EQ(policy_run.final_set.size(), sequential.final_set.size());
+  for (size_t i = 0; i < policy_run.final_set.size(); ++i) {
+    EXPECT_EQ(policy_run.final_set[i].rid_a, sequential.final_set[i].rid_a);
+    EXPECT_EQ(policy_run.final_set[i].rid_b, sequential.final_set[i].rid_b);
+    EXPECT_DOUBLE_EQ(policy_run.final_set[i].probability,
+                     sequential.final_set[i].probability);
+  }
+  ExpectSameStats(policy_run.stats, sequential.stats);
+}
+
+std::vector<OverloadCombo> OverloadCombos() {
+  std::vector<OverloadCombo> combos;
+  // block is the oracle under real backpressure (shallow queue): every
+  // profile, both async execution paths.
+  for (const char* profile :
+       {"Citations", "Anime", "Bikes", "EBooks", "Songs"}) {
+    combos.emplace_back(profile, OverloadPolicy::kBlock, 2, 0);
+    combos.emplace_back(profile, OverloadPolicy::kBlock, 2, 4);
+  }
+  // Non-block policies with a queue the replay cannot fill: the pressure
+  // signal stays quiet, so they must be bit-identical too.
+  for (OverloadPolicy policy :
+       {OverloadPolicy::kShedNewest, OverloadPolicy::kShedOldest,
+        OverloadPolicy::kDegrade}) {
+    combos.emplace_back("Citations", policy, 64, 0);
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, OverloadPolicyEquivalenceTest,
+    ::testing::ValuesIn(OverloadCombos()),
+    [](const ::testing::TestParamInfo<OverloadCombo>& info) {
+      return std::get<0>(info.param) +
+             std::string("_") +
+             OverloadPolicyName(std::get<1>(info.param)) + "_q" +
+             std::to_string(std::get<2>(info.param)) + "_c" +
+             std::to_string(std::get<3>(info.param));
+    });
 
 std::vector<BatchCombo> BatchCombos() {
   std::vector<BatchCombo> combos;
